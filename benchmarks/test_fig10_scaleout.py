@@ -1,0 +1,70 @@
+"""Figure 10: scaling out D-FASTER.
+
+Throughput vs cluster size for uniform and Zipfian YCSB-A 50:50 under
+four durability configurations: no checkpoints (pure cache), and DPR
+checkpoints every 100 ms on null / local SSD / cloud SSD backends.
+
+Expected shape (paper §7.2): near-linear scale-out for every backend;
+checkpointed configurations roughly 40% below no-checkpoints; cloud
+SSD slightly below local SSD; Zipfian ~20% above uniform.
+"""
+
+import pytest
+
+from repro.bench.harness import run_dfaster_experiment
+from repro.bench.report import format_table
+from repro.sim.storage import StorageKind
+from repro.workloads import YCSB_A, YCSB_A_ZIPFIAN
+
+VM_COUNTS = [2, 4, 8]
+BACKENDS = [
+    ("no-chkpt", dict(checkpoints_enabled=False, dpr_enabled=False)),
+    ("null", dict(storage=StorageKind.NULL)),
+    ("local-ssd", dict(storage=StorageKind.LOCAL_SSD)),
+    ("cloud-ssd", dict(storage=StorageKind.CLOUD_SSD)),
+]
+
+
+def _sweep(workload):
+    rows = []
+    for n_vms in VM_COUNTS:
+        row = {"#VM": n_vms}
+        for name, overrides in BACKENDS:
+            result = run_dfaster_experiment(
+                f"fig10 {workload.name} {name} n={n_vms}",
+                duration=0.3, warmup=0.1,
+                n_workers=n_vms, n_client_machines=n_vms,
+                workload=workload, **overrides,
+            )
+            row[name] = result.throughput_mops
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_scaleout_uniform(benchmark, report):
+    rows = benchmark.pedantic(lambda: _sweep(YCSB_A), rounds=1, iterations=1)
+    report("fig10a_uniform", format_table(
+        rows, title="Figure 10a: scaling out D-FASTER, uniform 50:50 (Mops/s)"))
+    by_n = {r["#VM"]: r for r in rows}
+    # Near-linear scale-out.
+    assert by_n[8]["local-ssd"] > 3.0 * by_n[2]["local-ssd"]
+    # Persistence costs throughput; cloud is slowest backend.
+    for row in rows:
+        assert row["no-chkpt"] > row["null"] >= row["local-ssd"] > row["cloud-ssd"]
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_scaleout_zipfian(benchmark, report):
+    rows = benchmark.pedantic(lambda: _sweep(YCSB_A_ZIPFIAN),
+                              rounds=1, iterations=1)
+    report("fig10b_zipfian", format_table(
+        rows, title="Figure 10b: scaling out D-FASTER, Zipfian(0.99) 50:50 (Mops/s)"))
+    # Zipfian beats uniform: hot keys are re-copied quickly and then
+    # updated in place (§7.2).
+    uniform_8 = run_dfaster_experiment(
+        "ref uniform n=8", duration=0.3, warmup=0.1,
+        n_workers=8, workload=YCSB_A,
+    ).throughput_mops
+    zipf_8 = [r for r in rows if r["#VM"] == 8][0]["local-ssd"]
+    assert zipf_8 > 1.1 * uniform_8

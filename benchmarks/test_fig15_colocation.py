@@ -1,0 +1,69 @@
+"""Figure 15: co-location throughput.
+
+Client threads pinned to worker vCPUs; the sweep varies the fraction of
+operations that are *remote* and the batch size used for remote
+operations (Zipfian 50:50).
+
+Expected shape (§7.3): with most operations local, co-location beats
+dedicated servers regardless of batch size (local operations are
+unaffected by batching); as the remote fraction grows, throughput
+falls — catastrophically for small batches, because a session blocked
+on its remote window cannot run ahead.
+"""
+
+import pytest
+
+from repro.bench.harness import run_dfaster_experiment
+from repro.bench.report import format_table
+from repro.workloads import YCSB_A_ZIPFIAN
+
+REMOTE_FRACTIONS = [0.0, 0.25, 0.5, 0.75, 1.0]
+BATCHES = [1, 16, 1024]
+
+
+def _run(remote_fraction, batch_size):
+    return run_dfaster_experiment(
+        f"fig15 p={remote_fraction} b={batch_size}",
+        duration=0.2, warmup=0.05,
+        colocated=True,
+        colocation_local_fraction=1.0 - remote_fraction,
+        batch_size=batch_size,
+        workload=YCSB_A_ZIPFIAN,
+    )
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_colocation(benchmark, report):
+    def sweep():
+        rows = []
+        for remote in REMOTE_FRACTIONS:
+            row = {"remote%": int(remote * 100)}
+            for batch in BATCHES:
+                row[f"b={batch}"] = _run(remote, batch).throughput_mops
+            rows.append(row)
+        dedicated = run_dfaster_experiment(
+            "fig15 dedicated ref", duration=0.3, warmup=0.1,
+            workload=YCSB_A_ZIPFIAN,
+        ).throughput_mops
+        return rows, dedicated
+
+    rows, dedicated = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(
+        rows, title="Figure 15: co-located throughput vs remote fraction "
+                    "(Mops/s)")
+    text += f"\n(dedicated-server reference at b=1024: {dedicated:.1f} Mops/s)"
+    report("fig15_colocation", text)
+
+    by_remote = {r["remote%"]: r for r in rows}
+    # All-local runs are batch-size independent and beat dedicated.
+    local = by_remote[0]
+    assert abs(local["b=1"] - local["b=1024"]) < 0.15 * local["b=1024"]
+    assert local["b=1024"] > dedicated
+    # Throughput declines with remote fraction at every batch size.
+    for batch in BATCHES:
+        key = f"b={batch}"
+        assert by_remote[100][key] < by_remote[0][key]
+    # Small batches crater once remote ops dominate (log-scale drop).
+    assert by_remote[75]["b=1"] < 0.15 * by_remote[0]["b=1"]
+    # Large batches degrade but stay in the same order of magnitude.
+    assert by_remote[100]["b=1024"] > 0.2 * by_remote[0]["b=1024"]

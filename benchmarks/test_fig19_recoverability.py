@@ -1,0 +1,56 @@
+"""Figure 19: throughput impact of recoverability guarantees.
+
+Four levels (None, Eventual, DPR, Synchronous) across Cassandra,
+D-Redis and D-FASTER on uniform YCSB-A, 8 nodes.  Unsupported cells
+print N/A, matching the paper's matrix.
+
+Expected shape (§7.6): in both D-Redis and D-FASTER, DPR performs like
+eventual recoverability despite providing prefix guarantees, while
+synchronous recoverability costs far more — a trend visible across all
+three systems despite their orders-of-magnitude different absolute
+throughputs.
+"""
+
+import pytest
+
+from repro.baselines import RecoverabilityLevel, run_recoverability_matrix
+from repro.bench.report import format_table
+
+LEVELS = [RecoverabilityLevel.SYNC, RecoverabilityLevel.DPR,
+          RecoverabilityLevel.EVENTUAL, RecoverabilityLevel.NONE]
+
+
+@pytest.mark.benchmark(group="fig19")
+def test_fig19_recoverability_levels(benchmark, report):
+    matrix = benchmark.pedantic(
+        lambda: run_recoverability_matrix(duration=0.3, warmup=0.1),
+        rounds=1, iterations=1)
+    rows = []
+    for system, row in matrix.items():
+        rows.append({
+            "system": system,
+            **{level.value: (None if row[level] is None
+                             else row[level] / 1e6)
+               for level in LEVELS},
+        })
+    report("fig19_recoverability", format_table(
+        rows, title="Figure 19: throughput by recoverability level "
+                    "(Mops/s; N/A = unsupported)"))
+
+    cassandra = matrix["cassandra"]
+    dredis = matrix["d-redis"]
+    dfaster = matrix["d-faster"]
+    # DPR ~= eventual on both DPR systems (within 15%).
+    assert dredis[RecoverabilityLevel.DPR] > \
+        0.85 * dredis[RecoverabilityLevel.EVENTUAL]
+    assert dfaster[RecoverabilityLevel.DPR] > \
+        0.85 * dfaster[RecoverabilityLevel.EVENTUAL]
+    # Synchronous recoverability costs much more, on every system.
+    assert dredis[RecoverabilityLevel.SYNC] < \
+        0.3 * dredis[RecoverabilityLevel.DPR]
+    assert cassandra[RecoverabilityLevel.SYNC] < \
+        0.7 * cassandra[RecoverabilityLevel.EVENTUAL]
+    # The support matrix matches the paper's N/A cells.
+    assert cassandra[RecoverabilityLevel.DPR] is None
+    assert cassandra[RecoverabilityLevel.NONE] is None
+    assert dfaster[RecoverabilityLevel.SYNC] is None

@@ -1,0 +1,159 @@
+"""An Apache-Cassandra-like baseline (§7.6, Figure 19a).
+
+The paper uses Cassandra (replication disabled, default YCSB driver) as
+a third system supporting two recoverability levels via the commitlog
+``sync`` option:
+
+- ``periodic`` — mutations ack before the commitlog fsyncs (eventual
+  recoverability);
+- ``group``    — mutations wait for the next group fsync window
+  (synchronous recoverability), which costs both latency (half a window
+  on average) and throughput (commitlog contention).
+
+The model reproduces the memtable/commitlog write path structure: a
+per-node thread pool with an LSM-flavoured per-op cost (which includes
+the heavyweight driver/coordination overhead that keeps real
+Cassandra's YCSB numbers in the hundreds of thousands of ops/s), plus
+the commitlog behaviour that separates the two durability levels.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.cluster.client import ClientMachine
+from repro.cluster.messages import BatchReply, BatchRequest
+from repro.cluster.stats import ClusterStats
+from repro.sim.kernel import Environment, Event
+from repro.sim.queues import Queue
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.rand import make_rng, spawn
+from repro.workloads.ycsb import WorkloadSpec, YCSB_A
+
+
+class CommitLogMode(enum.Enum):
+    PERIODIC = "periodic"  # eventual recoverability
+    GROUP = "group"        # synchronous recoverability
+
+
+@dataclass
+class CassandraConfig:
+    n_nodes: int = 8
+    threads_per_node: int = 16
+    workload: WorkloadSpec = field(default_factory=lambda: YCSB_A)
+    commitlog: CommitLogMode = CommitLogMode.PERIODIC
+    batch_size: int = 256
+    window: Optional[int] = None
+    n_client_machines: int = 8
+    client_threads: int = 2
+    #: Per-op service cost: memtable insert + commitlog append + the
+    #: coordination/driver overhead that dominates real deployments.
+    op_cost: float = 150e-6
+    #: Group-commit fsync window (commitlog_sync_group_window).
+    group_window: float = 10e-3
+    #: Extra per-op cost under group sync (commitlog contention).
+    group_op_penalty: float = 2.0
+    seed: int = 42
+
+
+class CassandraNode:
+    """One Cassandra node: a thread pool over a work queue, plus the
+    group-commit fsync cycle when the commitlog is in ``group`` mode."""
+
+    def __init__(self, env: Environment, net: Network, address: str,
+                 config: CassandraConfig):
+        self.env = env
+        self.net = net
+        self.address = address
+        self.config = config
+        self.endpoint = net.register(address)
+        self.work = Queue(env, name=f"cass-q:{address}")
+        #: Batches waiting on the next group fsync: (reply, reply_to).
+        self._awaiting_fsync: List = []
+        self.ops_served = 0
+        env.process(self._dispatch(), name=f"cass-rx:{address}")
+        for thread in range(config.threads_per_node):
+            env.process(self._thread(), name=f"cass:{address}/{thread}")
+        if config.commitlog is CommitLogMode.GROUP:
+            env.process(self._fsync_cycle(), name=f"cass-fsync:{address}")
+
+    def _dispatch(self):
+        while True:
+            message = yield self.endpoint.inbox.get()
+            self.work.put(message.payload)
+
+    def _thread(self):
+        env = self.env
+        config = self.config
+        per_op = config.op_cost
+        if config.commitlog is CommitLogMode.GROUP:
+            per_op *= config.group_op_penalty
+        while True:
+            request: BatchRequest = yield self.work.get()
+            yield env.timeout(request.op_count * per_op)
+            self.ops_served += request.op_count
+            reply = BatchReply(
+                batch_id=request.batch_id,
+                session_id=request.session_id,
+                object_id=self.address,
+                status="ok",
+                world_line=0,
+                version=0,
+                op_count=request.op_count,
+                served_at=env.now,
+            )
+            if config.commitlog is CommitLogMode.GROUP:
+                # Ack only after the commitlog group fsync.
+                self._awaiting_fsync.append((reply, request.reply_to))
+            else:
+                self.net.send(self.address, request.reply_to, reply,
+                              size_ops=request.op_count)
+
+    def _fsync_cycle(self):
+        env = self.env
+        while True:
+            yield env.timeout(self.config.group_window)
+            pending, self._awaiting_fsync = self._awaiting_fsync, []
+            for reply, reply_to in pending:
+                self.net.send(self.address, reply_to, reply,
+                              size_ops=reply.op_count)
+
+
+class CassandraCluster:
+    """An n-node Cassandra-like cluster fed by the standard clients."""
+
+    def __init__(self, config: Optional[CassandraConfig] = None, **overrides):
+        if config is None:
+            config = CassandraConfig(**overrides)
+        elif overrides:
+            config = replace(config, **overrides)
+        self.config = config
+        self.env = Environment()
+        self._rng = make_rng(config.seed)
+        self.net = Network(self.env, NetworkConfig(),
+                           rng=spawn(self._rng, "net"))
+        self.stats = ClusterStats()
+        addresses = [f"cassandra-{i}" for i in range(config.n_nodes)]
+        self.nodes = [CassandraNode(self.env, self.net, address, config)
+                      for address in addresses]
+        self.clients = [
+            ClientMachine(
+                self.env, self.net, f"client-{i}",
+                worker_addresses=addresses,
+                workload=config.workload,
+                stats=self.stats,
+                batch_size=config.batch_size,
+                window=config.window,
+                n_threads=config.client_threads,
+                rng=spawn(self._rng, f"client{i}"),
+            )
+            for i in range(config.n_client_machines)
+        ]
+
+    def run(self, duration: float, warmup: float = 0.05) -> ClusterStats:
+        self.stats.warmup = warmup
+        self.env.run(until=duration)
+        return self.stats

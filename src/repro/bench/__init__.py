@@ -1,0 +1,16 @@
+"""Benchmark harness regenerating every table and figure in §7."""
+
+from repro.bench.harness import (
+    ExperimentResult,
+    run_dfaster_experiment,
+    run_dredis_experiment,
+)
+from repro.bench.report import format_table, format_latency_histogram
+
+__all__ = [
+    "ExperimentResult",
+    "format_latency_histogram",
+    "format_table",
+    "run_dfaster_experiment",
+    "run_dredis_experiment",
+]

@@ -1,0 +1,56 @@
+"""Command-line figure runner.
+
+Usage::
+
+    python -m repro.bench fig13              # one figure
+    python -m repro.bench fig10 --scale 0.5  # half-length windows
+    python -m repro.bench all -o results.txt
+
+The pytest benchmarks in ``benchmarks/`` remain the source of truth for
+shape assertions; this entry point is for quick interactive sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import FIGURES, generate
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures on the "
+                    "simulated testbed.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(FIGURES) + ["all"],
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="scale factor on measurement windows (smaller = faster, "
+             "noisier); default 1.0",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="also write the table(s) to this file",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    text = generate(args.figure, scale=args.scale)
+    elapsed = time.time() - started
+    print(text)
+    print(f"\n[{args.figure} generated in {elapsed:.1f}s wall-clock]")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,224 @@
+"""Programmatic figure generation (shared by the CLI and ad-hoc use).
+
+Each ``fig*`` function runs the corresponding experiment sweep and
+returns ``(title, rows)``; ``generate`` renders any of them to text.
+The pytest benchmarks in ``benchmarks/`` carry the shape assertions;
+these functions are the quick, assertion-free path:
+
+    python -m repro.bench fig10 --scale 0.5
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.baselines import RecoverabilityLevel, run_recoverability_matrix
+from repro.bench.harness import run_dfaster_experiment, run_dredis_experiment
+from repro.bench.report import format_table
+from repro.cluster.dredis import RedisMode
+from repro.sim.storage import StorageKind
+from repro.workloads import YCSB_A, YCSB_A_ZIPFIAN
+
+Rows = List[Dict]
+
+
+def _window(scale: float, base_duration: float = 0.3,
+            base_warmup: float = 0.1) -> Tuple[float, float]:
+    return max(0.1, base_duration * scale), max(0.05, base_warmup * scale)
+
+
+def fig10(scale: float = 1.0) -> Tuple[str, Rows]:
+    duration, warmup = _window(scale)
+    backends = [
+        ("no-chkpt", dict(checkpoints_enabled=False, dpr_enabled=False)),
+        ("null", dict(storage=StorageKind.NULL)),
+        ("local-ssd", dict(storage=StorageKind.LOCAL_SSD)),
+        ("cloud-ssd", dict(storage=StorageKind.CLOUD_SSD)),
+    ]
+    rows = []
+    for workload in (YCSB_A, YCSB_A_ZIPFIAN):
+        for n_vms in (2, 4, 8):
+            row = {"workload": workload.name, "#VM": n_vms}
+            for name, overrides in backends:
+                row[name] = run_dfaster_experiment(
+                    f"fig10 {name}", duration=duration, warmup=warmup,
+                    n_workers=n_vms, n_client_machines=n_vms,
+                    workload=workload, **overrides,
+                ).throughput_mops
+            rows.append(row)
+    return "Figure 10: scaling out D-FASTER (Mops/s)", rows
+
+
+def fig11(scale: float = 1.0) -> Tuple[str, Rows]:
+    duration, warmup = _window(scale)
+    configs = [
+        ("no-chkpt", dict(checkpoints_enabled=False, dpr_enabled=False)),
+        ("no-dpr", dict(dpr_enabled=False)),
+        ("dpr", dict()),
+    ]
+    rows = []
+    for vcpus in (4, 8, 16):
+        row = {"#vCPU": vcpus}
+        for name, overrides in configs:
+            row[name] = run_dfaster_experiment(
+                f"fig11 {name}", duration=duration, warmup=warmup,
+                vcpus=vcpus, workload=YCSB_A, **overrides,
+            ).throughput_mops
+        rows.append(row)
+    return "Figure 11: scaling up D-FASTER (Mops/s)", rows
+
+
+def fig12(scale: float = 1.0) -> Tuple[str, Rows]:
+    duration, warmup = _window(scale, 0.6, 0.2)
+    rows = []
+    for batch in (1024, 64):
+        result = run_dfaster_experiment(
+            f"fig12 b={batch}", duration=duration, warmup=warmup,
+            batch_size=batch, workload=YCSB_A_ZIPFIAN,
+        )
+        rows.append({
+            "config": f"b={batch}",
+            "tput_mops": result.throughput_mops,
+            "op_p50_ms": result.operation_latency["p50"] * 1e3,
+            "commit_p50_ms": result.commit_latency["p50"] * 1e3,
+            "commit_p95_ms": result.commit_latency["p95"] * 1e3,
+        })
+    return "Figure 12: D-FASTER latency", rows
+
+
+def fig13(scale: float = 1.0) -> Tuple[str, Rows]:
+    rows = []
+    for batch in (1, 4, 16, 64, 256, 1024):
+        duration, warmup = _window(scale, 0.15 if batch < 16 else 0.3,
+                                   0.05 if batch < 16 else 0.1)
+        result = run_dfaster_experiment(
+            f"fig13 b={batch}", duration=duration, warmup=warmup,
+            batch_size=batch, workload=YCSB_A_ZIPFIAN,
+            n_client_machines=4 if batch < 16 else 8,
+        )
+        rows.append({"b": batch, "w": 16 * batch,
+                     "tput_mops": result.throughput_mops,
+                     "op_p50_ms": result.operation_latency["p50"] * 1e3})
+    return "Figure 13: throughput-latency trade-off", rows
+
+
+def fig14(scale: float = 1.0) -> Tuple[str, Rows]:
+    rows = []
+    for interval in (0.5, 0.25, 0.1, 0.05, 0.025):
+        duration = max(0.6, 4 * interval) * max(scale, 0.5)
+        row = {"interval_ms": int(interval * 1e3)}
+        for name, kind in [("null", StorageKind.NULL),
+                           ("local-ssd", StorageKind.LOCAL_SSD),
+                           ("cloud-ssd", StorageKind.CLOUD_SSD)]:
+            row[name] = run_dfaster_experiment(
+                f"fig14 {name}", duration=duration, warmup=0.2,
+                checkpoint_interval=interval, storage=kind,
+                workload=YCSB_A_ZIPFIAN,
+            ).throughput_mops
+        rows.append(row)
+    return "Figure 14: storage backend vs checkpoint interval (Mops/s)", rows
+
+
+def fig15(scale: float = 1.0) -> Tuple[str, Rows]:
+    duration, warmup = _window(scale, 0.2, 0.05)
+    rows = []
+    for remote in (0.0, 0.25, 0.5, 0.75, 1.0):
+        row = {"remote%": int(remote * 100)}
+        for batch in (1, 16, 1024):
+            row[f"b={batch}"] = run_dfaster_experiment(
+                f"fig15 p={remote} b={batch}",
+                duration=duration, warmup=warmup,
+                colocated=True, colocation_local_fraction=1.0 - remote,
+                batch_size=batch, workload=YCSB_A_ZIPFIAN,
+            ).throughput_mops
+        rows.append(row)
+    return "Figure 15: co-located throughput (Mops/s)", rows
+
+
+def fig16(scale: float = 1.0) -> Tuple[str, Rows]:
+    duration = 45.0 * scale
+    failures = tuple(t * scale for t in (15.0, 30.0, 30.05))
+    result = run_dfaster_experiment(
+        "fig16", duration=duration, warmup=0.25,
+        workload=YCSB_A_ZIPFIAN, failures=failures,
+    )
+    completed = dict(result.stats.completed.series(0.25))
+    committed = dict(result.stats.committed.series(0.25))
+    aborted = dict(result.stats.aborted.series(0.25))
+    rows = [
+        {"t_s": bucket,
+         "completed_mops": completed.get(bucket, 0.0) / 1e6,
+         "committed_mops": committed.get(bucket, 0.0) / 1e6,
+         "aborted_mops": aborted.get(bucket, 0.0) / 1e6}
+        for bucket in sorted(completed)
+        if any(abs(bucket - f) < 2.0 for f in failures)
+    ]
+    return "Figure 16: recovery timeline (250ms buckets)", rows
+
+
+def fig17(scale: float = 1.0) -> Tuple[str, Rows]:
+    rows = []
+    for regime, batch, window, duration in [
+        ("saturated", 1024, 8192, 0.4), ("unsaturated", 16, 1024, 0.2),
+    ]:
+        for shards in (2, 4, 8):
+            row = {"regime": regime, "#shard": shards}
+            for name, mode in [("redis", RedisMode.PLAIN),
+                               ("redis+proxy", RedisMode.PROXY),
+                               ("d-redis", RedisMode.DPR)]:
+                row[name] = run_dredis_experiment(
+                    f"fig17 {name}", duration=duration * max(scale, 0.5),
+                    warmup=0.05,
+                    n_shards=shards, mode=mode, batch_size=batch,
+                    window=window, n_client_machines=shards,
+                ).throughput_mops
+            rows.append(row)
+    return "Figure 17: D-Redis vs Redis throughput (Mops/s)", rows
+
+
+def fig18(scale: float = 1.0) -> Tuple[str, Rows]:
+    duration, warmup = _window(scale, 0.2, 0.05)
+    rows = []
+    for name, mode in [("redis", RedisMode.PLAIN),
+                       ("redis+proxy", RedisMode.PROXY),
+                       ("d-redis", RedisMode.DPR)]:
+        result = run_dredis_experiment(
+            f"fig18 {name}", duration=duration, warmup=warmup,
+            mode=mode, batch_size=16, window=64, client_threads=2,
+        )
+        rows.append({"config": name,
+                     "p50_ms": result.operation_latency["p50"] * 1e3,
+                     "p95_ms": result.operation_latency["p95"] * 1e3})
+    return "Figure 18: D-Redis latency, unsaturated", rows
+
+
+def fig19(scale: float = 1.0) -> Tuple[str, Rows]:
+    duration, warmup = _window(scale)
+    matrix = run_recoverability_matrix(duration=duration, warmup=warmup)
+    levels = [RecoverabilityLevel.SYNC, RecoverabilityLevel.DPR,
+              RecoverabilityLevel.EVENTUAL, RecoverabilityLevel.NONE]
+    rows = [
+        {"system": system,
+         **{level.value: (None if row[level] is None else row[level] / 1e6)
+            for level in levels}}
+        for system, row in matrix.items()
+    ]
+    return "Figure 19: recoverability levels (Mops/s)", rows
+
+
+FIGURES: Dict[str, Callable[[float], Tuple[str, Rows]]] = {
+    "fig10": fig10, "fig11": fig11, "fig12": fig12, "fig13": fig13,
+    "fig14": fig14, "fig15": fig15, "fig16": fig16, "fig17": fig17,
+    "fig18": fig18, "fig19": fig19,
+}
+
+
+def generate(name: str, scale: float = 1.0) -> str:
+    """Render one figure (or 'all') to text."""
+    if name == "all":
+        return "\n\n".join(generate(key, scale) for key in FIGURES)
+    if name not in FIGURES:
+        known = ", ".join(sorted(FIGURES))
+        raise KeyError(f"unknown figure {name!r}; known: {known}, all")
+    title, rows = FIGURES[name](scale)
+    return format_table(rows, title=title)

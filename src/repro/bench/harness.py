@@ -1,0 +1,68 @@
+"""Shared experiment-running helpers for the figure benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.dfaster import DFasterCluster, DFasterConfig
+from repro.cluster.dredis import DRedisCluster, DRedisConfig
+from repro.cluster.stats import ClusterStats
+
+
+@dataclass
+class ExperimentResult:
+    """Throughput and latency summary of one configuration run."""
+
+    label: str
+    throughput_mops: float
+    commit_throughput_mops: float
+    operation_latency: Dict[str, float]
+    commit_latency: Dict[str, float]
+    stats: ClusterStats = field(repr=False, default=None)
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "label": self.label,
+            "tput_mops": round(self.throughput_mops, 2),
+            "op_p50_ms": round(self.operation_latency["p50"] * 1e3, 3),
+            "op_p95_ms": round(self.operation_latency["p95"] * 1e3, 3),
+            "commit_p50_ms": round(self.commit_latency["p50"] * 1e3, 1),
+        }
+
+
+def _summarize(label: str, stats: ClusterStats, warmup: float,
+               duration: float) -> ExperimentResult:
+    return ExperimentResult(
+        label=label,
+        throughput_mops=stats.throughput(
+            start=warmup, end=duration, duration=duration - warmup) / 1e6,
+        commit_throughput_mops=stats.commit_throughput(
+            start=warmup, end=duration) / 1e6,
+        operation_latency=stats.operation_latency.summary(),
+        commit_latency=stats.commit_latency.summary(),
+        stats=stats,
+    )
+
+
+def run_dfaster_experiment(label: str, duration: float = 0.3,
+                           warmup: float = 0.1,
+                           config: Optional[DFasterConfig] = None,
+                           failures: Tuple[float, ...] = (),
+                           **overrides) -> ExperimentResult:
+    """Run one D-FASTER configuration and summarize it."""
+    cluster = DFasterCluster(config, **overrides)
+    for at_time in failures:
+        cluster.schedule_failure(at_time)
+    stats = cluster.run(duration, warmup)
+    return _summarize(label, stats, warmup, duration)
+
+
+def run_dredis_experiment(label: str, duration: float = 0.3,
+                          warmup: float = 0.1,
+                          config: Optional[DRedisConfig] = None,
+                          **overrides) -> ExperimentResult:
+    """Run one D-Redis/Redis configuration and summarize it."""
+    cluster = DRedisCluster(config, **overrides)
+    stats = cluster.run(duration, warmup)
+    return _summarize(label, stats, warmup, duration)

@@ -1,0 +1,59 @@
+"""Plain-text rendering of benchmark tables and histograms."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(rows: Sequence[Dict], title: str = "",
+                 columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        rendered.append([_cell(row.get(c)) for c in columns])
+    widths = [max(len(line[i]) for line in rendered)
+              for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    header, *body = rendered
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "N/A"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_latency_histogram(samples_ms: Iterable[float], title: str,
+                             bins: int = 12, width: int = 40) -> str:
+    """An ASCII latency histogram (the Figure 12/18 distributions)."""
+    values = sorted(samples_ms)
+    if not values:
+        return f"{title}\n(no samples)"
+    low, high = values[0], values[-1]
+    if high <= low:
+        high = low + 1e-9
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - low) / (high - low) * bins))
+        counts[index] += 1
+    peak = max(counts)
+    lines = [title]
+    for i, count in enumerate(counts):
+        left = low + (high - low) * i / bins
+        right = low + (high - low) * (i + 1) / bins
+        bar = "#" * max(1 if count else 0, int(count / peak * width))
+        lines.append(f"  {left:8.2f}-{right:8.2f} ms |{bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""The distributed layer: D-FASTER and D-Redis on the simulated testbed.
+
+Composition (mirrors Figure 6):
+
+- :mod:`repro.cluster.metadata` — the Azure-SQL stand-in holding the
+  DPR table, ownership mapping and cluster membership;
+- :mod:`repro.cluster.ownership` — virtual partitions, leases, and
+  checkpoint-aligned ownership transfer (§5.3);
+- :mod:`repro.cluster.costmodel` — the calibrated CPU/IO cost model
+  that turns protocol events into simulated time;
+- :mod:`repro.cluster.modeled` — a counters-only StateObject for
+  large-scale performance runs (full DPR logic, no data payloads);
+- :mod:`repro.cluster.worker` — a D-FASTER worker: server threads,
+  checkpoint loop, flusher, rollback handling, co-located clients;
+- :mod:`repro.cluster.client` — dedicated client machines with
+  windowed, batched sessions;
+- :mod:`repro.cluster.services` — the DPR-finder service and the
+  cluster manager (failure detection and world-line bumps);
+- :mod:`repro.cluster.dfaster` — the assembled D-FASTER cluster;
+- :mod:`repro.cluster.dredis` — the assembled D-Redis deployment
+  (proxy + unmodified Redis per shard) plus the plain-Redis and
+  pass-through-proxy baselines of §7.5.
+"""
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.dfaster import DFasterCluster, DFasterConfig
+from repro.cluster.dredis import DRedisCluster, DRedisConfig, RedisMode
+from repro.cluster.elastic import ElasticCoordinator, PartitionedClient
+from repro.cluster.metadata import MetadataStore
+from repro.cluster.modeled import ModeledStore
+
+__all__ = [
+    "CostModel",
+    "DFasterCluster",
+    "DFasterConfig",
+    "DRedisCluster",
+    "DRedisConfig",
+    "ElasticCoordinator",
+    "MetadataStore",
+    "ModeledStore",
+    "PartitionedClient",
+    "RedisMode",
+]

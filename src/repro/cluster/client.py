@@ -1,0 +1,287 @@
+"""Client machines: windowed, batched DPR sessions (§7.1).
+
+Each client thread owns one session and keeps a window of ``w``
+outstanding operations, sent as batches of ``b`` — the paper's
+``w = 16 b`` default keeps roughly two batches in flight per worker on
+an 8-machine cluster.  Sessions do full DPR bookkeeping at batch
+granularity (exactly the granularity libDPR itself works at): the
+``Vs`` scalar, dependency headers, commit tracking against piggybacked
+cuts, and world-line failure handling with abort accounting.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.messages import BatchReply, BatchRequest
+from repro.cluster.stats import ClusterStats
+from repro.core.cuts import DprCut
+from repro.core.versioning import Token
+from repro.sim.kernel import Environment
+from repro.sim.network import Network
+from repro.sim.rand import make_rng, spawn
+from repro.workloads.ycsb import WorkloadSpec
+
+
+@dataclass
+class BatchRecord:
+    """One in-flight or completed-but-uncommitted batch."""
+
+    batch_id: int
+    object_id: str
+    first_seqno: int
+    op_count: int
+    created_at: float
+    version: Optional[int] = None
+    completed_at: Optional[float] = None
+
+
+class BatchSession:
+    """Client-side DPR session operating at batch granularity."""
+
+    _next_batch_id = 0
+
+    def __init__(self, session_id: str, stats: ClusterStats):
+        self.session_id = session_id
+        self.stats = stats
+        self.world_line = 0
+        #: Vs — the largest version seen (§3.2).
+        self.version_scalar = 0
+        self._next_seqno = 1
+        #: Completions since the last send become the next batch's deps.
+        self._recent: Dict[str, int] = {}
+        #: In-flight and completed-but-uncommitted batches, send order.
+        self.records: "OrderedDict[int, BatchRecord]" = OrderedDict()
+        self.outstanding_ops = 0
+        self.committed_ops = 0
+        self.aborted_ops = 0
+        #: Set after a rollback; the issuing loop waits it out (§7.4).
+        self.paused_until = 0.0
+        #: Identity of the last cut folded in — workers piggyback the
+        #: same object until the finder publishes a new one, so this
+        #: avoids rescanning the uncommitted window on every reply.
+        self._last_cut_seen: Optional[DprCut] = None
+
+    def new_batch(self, object_id: str, op_count: int, write_count: int,
+                  now: float, reply_to: str) -> BatchRequest:
+        BatchSession._next_batch_id += 1
+        batch_id = BatchSession._next_batch_id
+        deps = tuple(Token(obj, ver) for obj, ver in self._recent.items())
+        self._recent.clear()
+        request = BatchRequest(
+            batch_id=batch_id,
+            session_id=self.session_id,
+            reply_to=reply_to,
+            world_line=self.world_line,
+            min_version=self.version_scalar,
+            first_seqno=self._next_seqno,
+            op_count=op_count,
+            write_count=write_count,
+            deps=deps,
+            created_at=now,
+        )
+        self._next_seqno += op_count
+        self.records[batch_id] = BatchRecord(
+            batch_id=batch_id,
+            object_id=object_id,
+            first_seqno=request.first_seqno,
+            op_count=op_count,
+            created_at=now,
+        )
+        self.outstanding_ops += op_count
+        return request
+
+    # -- responses ----------------------------------------------------------
+
+    def complete(self, reply: BatchReply, now: float) -> None:
+        record = self.records.get(reply.batch_id)
+        if record is None:
+            return  # lost to a rollback meanwhile
+        record.version = reply.version
+        record.completed_at = now
+        self.outstanding_ops -= record.op_count
+        if reply.version > self.version_scalar:
+            self.version_scalar = reply.version
+        existing = self._recent.get(record.object_id, 0)
+        if reply.version > existing:
+            self._recent[record.object_id] = reply.version
+        self.stats.completed.add(now, record.op_count)
+        self.stats.operation_latency.add(now - record.created_at)
+        if reply.cut is not None and reply.cut is not self._last_cut_seen:
+            self.refresh_commit(reply.cut, now)
+
+    def drop(self, batch_id: int) -> None:
+        """Forget a batch the server refused (RETRY); ops never ran."""
+        record = self.records.pop(batch_id, None)
+        if record is not None and record.version is None:
+            self.outstanding_ops -= record.op_count
+
+    def refresh_commit(self, cut: DprCut, now: float) -> None:
+        """Retire completed batches the cut covers (relaxed DPR: pending
+        batches do not block later independent ones, §5.4)."""
+        self._last_cut_seen = cut
+        retired = []
+        for batch_id, record in self.records.items():
+            if record.version is None:
+                continue
+            if record.version <= cut.version_of(record.object_id):
+                retired.append(batch_id)
+        for batch_id in retired:
+            record = self.records.pop(batch_id)
+            self.committed_ops += record.op_count
+            self.stats.committed.add(now, record.op_count)
+            self.stats.commit_latency.add(now - record.created_at)
+
+    # -- failure handling -------------------------------------------------------
+
+    def handle_rollback(self, new_world_line: int, cut: Optional[DprCut],
+                        now: float, pause: float) -> None:
+        """World-line bump: commit what the cut covers, abort the rest."""
+        if new_world_line <= self.world_line:
+            return  # duplicate notification
+        self.world_line = new_world_line
+        cut = cut or DprCut()
+        for record in list(self.records.values()):
+            if (record.version is not None
+                    and record.version <= cut.version_of(record.object_id)):
+                self.committed_ops += record.op_count
+                self.stats.committed.add(now, record.op_count)
+            else:
+                self.aborted_ops += record.op_count
+                self.stats.aborted.add(now, record.op_count)
+                if record.version is None:
+                    self.outstanding_ops -= record.op_count
+        self.records.clear()
+        self.outstanding_ops = 0
+        self._recent.clear()
+        self.paused_until = now + pause
+
+
+class ClientMachine:
+    """One client VM: ``n_threads`` sessions sharing a NIC endpoint."""
+
+    def __init__(
+        self,
+        env: Environment,
+        net: Network,
+        address: str,
+        worker_addresses: List[str],
+        workload: WorkloadSpec,
+        stats: ClusterStats,
+        batch_size: int = 1024,
+        window: Optional[int] = None,
+        n_threads: int = 4,
+        rng: Optional[random.Random] = None,
+        recovery_pause: float = 20e-3,
+        retry_delay: float = 2e-3,
+        request_timeout: float = 0.2,
+    ):
+        self.env = env
+        self.net = net
+        self.address = address
+        self.endpoint = net.register(address)
+        self.workers = list(worker_addresses)
+        self.workload = workload
+        self.stats = stats
+        self.batch_size = batch_size
+        self.window = window if window is not None else 16 * batch_size
+        self.recovery_pause = recovery_pause
+        self.retry_delay = retry_delay
+        #: Batches unanswered this long are abandoned (the worker
+        #: crashed mid-flight); the TCP analog of a broken connection.
+        self.request_timeout = request_timeout
+        self._rng = make_rng(rng)
+        self.sessions: Dict[str, BatchSession] = {}
+        self._wakeups: Dict[str, object] = {}
+        self.running = True
+        for thread in range(n_threads):
+            session_id = f"{address}/s{thread}"
+            session = BatchSession(session_id, stats)
+            self.sessions[session_id] = session
+            env.process(self._issue_loop(session, spawn(self._rng, session_id)),
+                        name=f"client:{session_id}")
+        env.process(self._receive_loop(), name=f"client-rx:{address}")
+        env.process(self._timeout_sweeper(), name=f"client-to:{address}")
+
+    # -- issuing -------------------------------------------------------------
+
+    def _issue_loop(self, session: BatchSession, rng: random.Random):
+        env = self.env
+        while self.running:
+            if env.now < session.paused_until:
+                yield env.timeout(session.paused_until - env.now)
+                continue
+            if session.outstanding_ops + self.batch_size > self.window:
+                event = env.event(name=f"window:{session.session_id}")
+                self._wakeups[session.session_id] = event
+                yield event
+                continue
+            target = self.workers[rng.randrange(len(self.workers))]
+            write_count = self.workload.batch_write_count(self.batch_size, rng)
+            request = session.new_batch(target, self.batch_size, write_count,
+                                        env.now, self.address)
+            self.net.send(self.address, target, request,
+                          size_ops=self.batch_size)
+            # A tiny issue cost keeps a thread from queueing its whole
+            # window at one instant (client-side CPU).
+            yield env.timeout(1e-6 + 20e-9 * self.batch_size)
+
+    def _wake(self, session_id: str) -> None:
+        event = self._wakeups.pop(session_id, None)
+        if event is not None and not event.triggered:
+            event.succeed()
+
+    # -- receiving ---------------------------------------------------------------
+
+    def _receive_loop(self):
+        env = self.env
+        while True:
+            message = yield self.endpoint.inbox.get()
+            reply: BatchReply = message.payload
+            session = self.sessions.get(reply.session_id)
+            if session is None:
+                continue
+            if reply.status == "rolled_back":
+                session.handle_rollback(reply.world_line, reply.cut, env.now,
+                                        self.recovery_pause)
+            elif reply.status == "retry":
+                session.drop(reply.batch_id)
+                # back off briefly; the worker is still recovering
+                session.paused_until = max(session.paused_until,
+                                           env.now + self.retry_delay)
+            else:
+                session.complete(reply, env.now)
+            self._wake(reply.session_id)
+
+    def _timeout_sweeper(self):
+        """Abandon batches stuck on a crashed worker (broken-pipe analog)."""
+        env = self.env
+        while True:
+            yield env.timeout(self.request_timeout / 2)
+            deadline = env.now - self.request_timeout
+            for session in self.sessions.values():
+                stuck = [
+                    record for record in session.records.values()
+                    if record.version is None and record.created_at < deadline
+                ]
+                for record in stuck:
+                    session.records.pop(record.batch_id, None)
+                    session.outstanding_ops -= record.op_count
+                    session.aborted_ops += record.op_count
+                    self.stats.aborted.add(env.now, record.op_count)
+                if stuck:
+                    self._wake(session.session_id)
+
+    # -- control --------------------------------------------------------------------
+
+    def stop(self) -> None:
+        self.running = False
+
+    def total_committed(self) -> int:
+        return sum(s.committed_ops for s in self.sessions.values())
+
+    def total_aborted(self) -> int:
+        return sum(s.aborted_ops for s in self.sessions.values())

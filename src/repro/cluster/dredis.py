@@ -1,0 +1,382 @@
+"""The D-Redis deployment and its §7.5 baselines.
+
+Three wiring modes on the same shards:
+
+- ``PLAIN``  — clients talk straight to the single-threaded Redis
+  instance (vanilla Redis baseline);
+- ``PROXY``  — a pass-through proxy forwards every packet (controls for
+  the changed network pattern, which §7.5 shows is the dominant cost);
+- ``DPR``    — the proxy runs libDPR: batch gating, version tracking,
+  ``BGSAVE``-based ``Commit()`` under an exclusive latch, and
+  restart-based ``Restore()``.
+
+Durability levels for the Figure 19 study ride on the Redis instance:
+``aof="always"`` (synchronous), ``aof="everysec"``-ish background
+appends (eventual), or none.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.cluster.client import ClientMachine
+from repro.cluster.costmodel import CostModel
+from repro.cluster.messages import (
+    BatchReply,
+    BatchRequest,
+    CutBroadcast,
+    PersistReport,
+    RollbackCommand,
+    RollbackDone,
+    SealReport,
+)
+from repro.cluster.metadata import MetadataStore
+from repro.cluster.modeled import ModeledStore
+from repro.cluster.services import ClusterManager, FinderService
+from repro.cluster.stats import ClusterStats
+from repro.core.finder import ApproximateDprFinder
+from repro.core.state_object import WorldLineMismatch
+from repro.core.worldline import WorldLineDecision
+from repro.sim.kernel import Environment
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.queues import Queue
+from repro.sim.rand import make_rng, spawn
+from repro.sim.storage import StorageDevice, StorageKind
+from repro.workloads.ycsb import WorkloadSpec, YCSB_A
+
+
+class RedisMode(enum.Enum):
+    PLAIN = "plain"
+    PROXY = "proxy"
+    DPR = "dpr"
+
+
+@dataclass
+class DRedisConfig:
+    """Setup mirroring §7.5: one Redis + one proxy per shard VM."""
+
+    n_shards: int = 8
+    mode: RedisMode = RedisMode.DPR
+    workload: WorkloadSpec = field(default_factory=lambda: YCSB_A)
+    batch_size: int = 1024
+    window: Optional[int] = None
+    n_client_machines: int = 8
+    client_threads: int = 2
+    #: §7.5 runs five minutes with one checkpoint; scaled to sim length.
+    checkpoint_interval: float = 1.0
+    checkpoints_enabled: bool = True
+    storage: StorageKind = StorageKind.LOCAL_SSD
+    #: None | "always" | "everysec" — the Figure 19 durability levels.
+    aof: Optional[str] = None
+    seed: int = 42
+    cost: CostModel = field(default_factory=CostModel)
+
+
+class _RedisInstance:
+    """The unmodified, single-threaded Redis process."""
+
+    def __init__(self, env: Environment, cluster: "DRedisCluster",
+                 shard_id: int):
+        self.env = env
+        self.cluster = cluster
+        self.shard_id = shard_id
+        #: Work items: (request, respond_fn).
+        self.queue = Queue(env, name=f"redis-q:{shard_id}")
+        #: BGSAVE latch: while set, the worker thread pauses.
+        self.saving_pause = 0.0
+        self.commands = 0
+        env.process(self._loop(), name=f"redis:{shard_id}")
+
+    def _loop(self):
+        env = self.env
+        cost = self.cluster.config.cost
+        aof = self.cluster.config.aof
+        while True:
+            request, respond = yield self.queue.get()
+            if request == "BGSAVE":
+                # The exclusive-latch window (§6): command stream pauses.
+                yield env.timeout(cost.bgsave_pause)
+                respond(None)
+                continue
+            service = cost.redis_batch_time(
+                request.op_count,
+                aof_always=(aof == "always"),
+                aof_eventual=(aof == "everysec"),
+            )
+            yield env.timeout(service)
+            self.commands += request.op_count
+            respond(request)
+
+
+class _DRedisProxy:
+    """The D-Redis wrapper process on each shard VM (Figure 9).
+
+    In PROXY mode it only forwards (charging forwarding cost); in DPR
+    mode it additionally runs the libDPR server logic around the
+    unmodified Redis instance, with a ModeledStore carrying the DPR
+    bookkeeping and the BGSAVE/flush pair implementing ``Commit()``.
+    """
+
+    def __init__(self, env: Environment, cluster: "DRedisCluster",
+                 shard_id: int, redis: _RedisInstance,
+                 device: StorageDevice):
+        self.env = env
+        self.cluster = cluster
+        self.shard_id = shard_id
+        self.redis = redis
+        self.device = device
+        self.address = f"proxy-{shard_id}"
+        self.endpoint = cluster.net.register(self.address)
+        config = cluster.config
+        self.dpr = config.mode is RedisMode.DPR
+        workload = config.workload
+        self.engine = ModeledStore(
+            self.address,
+            effective_keys=workload.effective_shard_keys(config.n_shards),
+        )
+        self.cached_cut = None
+        self.cached_max_version = 0
+        #: Responses from Redis awaiting outbound forwarding.
+        self._egress = Queue(env, name=f"proxy-out:{self.address}")
+        env.process(self._receive_loop(), name=f"proxy:{self.address}")
+        env.process(self._egress_loop(), name=f"proxy-out:{self.address}")
+        if self.dpr and config.checkpoints_enabled:
+            env.process(self._commit_loop(), name=f"proxy-ckpt:{self.address}")
+
+    # -- request path -----------------------------------------------------
+
+    def _receive_loop(self):
+        env = self.env
+        cost = self.cluster.config.cost
+        while True:
+            message = yield self.endpoint.inbox.get()
+            payload = message.payload
+            if isinstance(payload, CutBroadcast):
+                self.cached_cut = payload.cut
+                self.cached_max_version = payload.max_version
+                continue
+            if isinstance(payload, RollbackCommand):
+                env.process(self._handle_rollback(payload),
+                            name=f"proxy-rollback:{self.address}")
+                continue
+            request: BatchRequest = payload
+            # Inbound forwarding cost (read header, re-frame).
+            yield env.timeout(cost.proxy_time(request.op_count, dpr=self.dpr))
+            if self.dpr:
+                reply_or_none = self._dpr_gate(request)
+                if reply_or_none is not None:
+                    self.cluster.net.send(self.address, request.reply_to,
+                                          reply_or_none,
+                                          size_ops=request.op_count)
+                    continue
+            self.redis.queue.put((request, self._make_responder(request)))
+
+    def _dpr_gate(self, request: BatchRequest) -> Optional[BatchReply]:
+        """World-line + version gating before Redis sees the batch."""
+        decision = self.engine.world_line.gate(request.world_line)
+        if decision is not WorldLineDecision.EXECUTE:
+            status = ("rolled_back"
+                      if decision is WorldLineDecision.REJECT else "retry")
+            return BatchReply(
+                batch_id=request.batch_id,
+                session_id=request.session_id,
+                object_id=self.address,
+                status=status,
+                world_line=self.engine.world_line.current,
+                op_count=request.op_count,
+                cut=self.cached_cut,
+                served_at=self.env.now,
+            )
+        return None
+
+    def _make_responder(self, request: BatchRequest):
+        def respond(_request):
+            self._egress.put(request)
+        return respond
+
+    def _egress_loop(self):
+        """Single-threaded outbound forwarding (the proxy, like Redis,
+        is one thread — ingress and egress share it in spirit; the two
+        loops never overlap service for the same batch)."""
+        env = self.env
+        cost = self.cluster.config.cost
+        while True:
+            request: BatchRequest = yield self._egress.get()
+            yield env.timeout(cost.proxy_time(request.op_count, dpr=self.dpr))
+            version = 0
+            world_line = 0
+            if self.dpr:
+                outcome = self.engine.execute(
+                    ("batch", request.op_count, request.write_count),
+                    session_id=request.session_id,
+                    seqno=request.first_seqno + request.op_count - 1,
+                    min_version=request.min_version,
+                    deps=request.deps,
+                )
+                version = outcome.version
+                world_line = outcome.world_line
+                self._flush_autosealed()
+            reply = BatchReply(
+                batch_id=request.batch_id,
+                session_id=request.session_id,
+                object_id=self.address,
+                status="ok",
+                world_line=world_line,
+                version=version,
+                op_count=request.op_count,
+                cut=self.cached_cut if self.dpr else None,
+                served_at=env.now,
+            )
+            self.cluster.net.send(self.address, request.reply_to, reply,
+                                  size_ops=request.op_count)
+
+    # -- Commit() via BGSAVE ----------------------------------------------------
+
+    def _commit_loop(self):
+        env = self.env
+        config = self.cluster.config
+        while True:
+            yield env.timeout(config.checkpoint_interval)
+            if (self.cached_max_version or 0) > self.engine.version:
+                self.engine.fast_forward(self.cached_max_version)
+            self._flush_autosealed()
+            descriptor = self.engine.seal_version()
+            self.cluster.net.send(self.address, "dpr-finder",
+                                  SealReport(descriptor), size_ops=1)
+            # Exclusive latch: BGSAVE through the Redis command queue.
+            saved = env.event(name=f"bgsave:{self.address}")
+            self.redis.queue.put(("BGSAVE", lambda _r: saved.succeed()))
+            yield saved
+            # Background RDB write, then LASTSAVE would advance.
+            version = descriptor.token.version
+            yield self.device.write(self.engine.checkpoint_bytes(version))
+            self.engine.mark_persisted(version)
+            self.cluster.net.send(self.address, "dpr-finder",
+                                  PersistReport(self.address, version),
+                                  size_ops=1)
+
+    def _flush_autosealed(self) -> None:
+        """Fast-forward seals persist with the next RDB write; report
+        them sealed now (synchronously durable via snapshot aliasing)."""
+        for descriptor in self.engine.drain_sealed():
+            self.cluster.net.send(self.address, "dpr-finder",
+                                  SealReport(descriptor), size_ops=1)
+            self.engine.mark_persisted(descriptor.token.version)
+            self.cluster.net.send(
+                self.address, "dpr-finder",
+                PersistReport(self.address, descriptor.token.version),
+                size_ops=1,
+            )
+
+    # -- Restore() via restart ------------------------------------------------------
+
+    def _handle_rollback(self, command: RollbackCommand):
+        env = self.env
+        cost = self.cluster.config.cost
+        target = command.cut.version_of(self.address)
+        if command.world_line > self.engine.world_line.current:
+            self.engine.restore(target, world_line=command.world_line)
+            self.cached_cut = command.cut
+            # Restore() restarts the Redis instance (§6): the restart
+            # dwarfs THROW-style windows.
+            yield env.timeout(cost.rollback_window * 2)
+        self.cluster.net.send(self.address, "cluster-manager",
+                              RollbackDone(self.address, command.world_line),
+                              size_ops=1)
+
+
+class DRedisCluster:
+    """Assembled D-Redis / Redis / Redis+proxy deployment."""
+
+    def __init__(self, config: Optional[DRedisConfig] = None, **overrides):
+        if config is None:
+            config = DRedisConfig(**overrides)
+        elif overrides:
+            config = replace(config, **overrides)
+        self.config = config
+        self.env = Environment()
+        self._rng = make_rng(config.seed)
+        self.net = Network(self.env, NetworkConfig(),
+                           rng=spawn(self._rng, "net"))
+        self.stats = ClusterStats()
+        self.metadata = MetadataStore(self.env, rng=spawn(self._rng, "meta"))
+        self.finder = ApproximateDprFinder(table=self.metadata.version_table)
+
+        self.redis_instances: List[_RedisInstance] = []
+        self.proxies: List[_DRedisProxy] = []
+        client_targets: List[str] = []
+        for shard in range(config.n_shards):
+            redis = _RedisInstance(self.env, self, shard)
+            self.redis_instances.append(redis)
+            if config.mode is RedisMode.PLAIN:
+                address = f"redis-{shard}"
+                endpoint = self.net.register(address)
+                self.env.process(self._plain_frontend(redis, endpoint),
+                                 name=f"redis-fe:{shard}")
+                client_targets.append(address)
+            else:
+                device = StorageDevice(self.env, config.storage,
+                                       rng=spawn(self._rng, f"dev{shard}"))
+                proxy = _DRedisProxy(self.env, self, shard, redis, device)
+                self.proxies.append(proxy)
+                client_targets.append(proxy.address)
+
+        if config.mode is RedisMode.DPR:
+            self.finder_service = FinderService(
+                self.env, self.net, "dpr-finder", self.finder,
+                self.metadata, client_targets,
+            )
+            self.manager = ClusterManager(
+                self.env, self.net, "cluster-manager", self.finder,
+                self.metadata, client_targets,
+            )
+
+        self.clients: List[ClientMachine] = []
+        for index in range(config.n_client_machines):
+            self.clients.append(ClientMachine(
+                self.env, self.net, f"client-{index}",
+                worker_addresses=client_targets,
+                workload=config.workload,
+                stats=self.stats,
+                batch_size=config.batch_size,
+                window=config.window,
+                n_threads=config.client_threads,
+                rng=spawn(self._rng, f"client{index}"),
+            ))
+
+    def _plain_frontend(self, redis: _RedisInstance, endpoint):
+        """PLAIN mode: the Redis instance reads its own socket."""
+        while True:
+            message = yield endpoint.inbox.get()
+            request: BatchRequest = message.payload
+
+            def respond(_request, request=request, endpoint=endpoint):
+                reply = BatchReply(
+                    batch_id=request.batch_id,
+                    session_id=request.session_id,
+                    object_id=endpoint.address,
+                    status="ok",
+                    world_line=0,
+                    version=0,
+                    op_count=request.op_count,
+                    served_at=self.env.now,
+                )
+                self.net.send(endpoint.address, request.reply_to, reply,
+                              size_ops=request.op_count)
+
+            redis.queue.put((request, respond))
+
+    # -- running -------------------------------------------------------------
+
+    def run(self, duration: float, warmup: float = 0.05) -> ClusterStats:
+        self.stats.warmup = warmup
+        self.env.run(until=duration)
+        return self.stats
+
+    def schedule_failure(self, at_time: float) -> None:
+        if self.config.mode is not RedisMode.DPR:
+            raise RuntimeError("failures need DPR mode")
+        self.manager.schedule_failure(at_time)

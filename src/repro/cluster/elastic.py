@@ -1,0 +1,165 @@
+"""Elastic key-ownership migration on the running cluster (§5.3).
+
+D-FASTER tracks key ownership at virtual-partition granularity in the
+metadata store; workers validate against a lease-guarded local view and
+reject mis-routed batches.  A transfer follows the Shadowfax-derived
+protocol the paper describes:
+
+1. the old owner renounces locally and the metadata row clears — the
+   partition is briefly owner-less and clients retry;
+2. the transfer waits for the old owner's next *checkpoint boundary*,
+   so ownership is static within every version (the property DPR
+   correctness requires);
+3. the metadata row flips to the new owner, which grants itself a
+   lease and starts serving.
+
+:class:`ElasticCoordinator` drives this on a simulated cluster;
+:class:`PartitionedClient` is a metadata-aware client that routes by
+partition, refreshes its cached mapping on ``not_owner`` bounces, and
+retries through the owner-less window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.messages import BatchReply, BatchRequest
+from repro.cluster.metadata import MetadataStore
+from repro.cluster.ownership import HashPartitioner, OwnershipView
+from repro.cluster.worker import DFasterWorker
+from repro.sim.kernel import Environment
+from repro.sim.network import Network
+
+
+class ElasticCoordinator:
+    """Assigns virtual partitions to workers and migrates them."""
+
+    def __init__(self, env: Environment, metadata: MetadataStore,
+                 workers: List[DFasterWorker], partition_count: int = 64,
+                 lease_duration: float = 10.0):
+        self.env = env
+        self.metadata = metadata
+        self.workers = {worker.address: worker for worker in workers}
+        self.partitioner = HashPartitioner(partition_count)
+        self.views: Dict[str, OwnershipView] = {}
+        for worker in workers:
+            view = OwnershipView(worker.address,
+                                 lease_duration=lease_duration,
+                                 clock=lambda: env.now)
+            worker.ownership = view
+            self.views[worker.address] = view
+        # Initial round-robin placement.
+        addresses = list(self.workers)
+        for partition in range(partition_count):
+            owner = addresses[partition % len(addresses)]
+            self.views[owner].grant(partition)
+            metadata.set_owner(partition, owner)
+        self.migrations_completed = 0
+
+    def owner_of(self, partition: int) -> Optional[str]:
+        return self.metadata.owner_of(partition)
+
+    def migrate(self, partition: int, new_owner: str):
+        """A generator process performing one §5.3 transfer."""
+        env = self.env
+        old_owner = self.metadata.owner_of(partition)
+        if old_owner == new_owner:
+            return
+        if old_owner is not None:
+            # Step 1: renounce locally *before* touching the metadata
+            # store; requests start bouncing immediately.
+            self.views[old_owner].renounce(partition)
+            yield self.metadata.access()
+            self.metadata.set_owner(partition, None)
+            # Step 2: defer to the old owner's checkpoint boundary so
+            # ownership is static within versions.
+            old_worker = self.workers[old_owner]
+            boundary = old_worker.engine.version
+            while old_worker.engine.version == boundary:
+                yield env.timeout(old_worker.checkpoint_interval / 4)
+        # Step 3: install the new owner.
+        yield self.metadata.access()
+        self.metadata.set_owner(partition, new_owner)
+        self.views[new_owner].grant(partition)
+        self.migrations_completed += 1
+
+
+class PartitionedClient:
+    """A metadata-aware client routing single batches by partition.
+
+    Used by migration tests and examples; the high-throughput
+    performance clients bypass partitioning (ownership is static in
+    those runs, as in the paper's benchmarks).
+    """
+
+    def __init__(self, env: Environment, net: Network, address: str,
+                 metadata: MetadataStore, coordinator: ElasticCoordinator,
+                 retry_delay: float = 2e-3):
+        self.env = env
+        self.net = net
+        self.address = address
+        self.endpoint = net.register(address)
+        self.metadata = metadata
+        self.coordinator = coordinator
+        self.retry_delay = retry_delay
+        #: Locally cached partition -> owner mapping (§5.3: clients
+        #: cache and only consult the store on changes).
+        self._cached_owners: Dict[int, str] = {}
+        self._next_batch = 0
+        self._next_seqno = 1
+        self.metadata_refreshes = 0
+        self.retries = 0
+
+    def _owner(self, partition: int, refresh: bool):
+        if refresh or partition not in self._cached_owners:
+            yield self.metadata.access()
+            self.metadata_refreshes += 1
+            owner = self.metadata.owner_of(partition)
+            if owner is not None:
+                self._cached_owners[partition] = owner
+            else:
+                self._cached_owners.pop(partition, None)
+            return owner
+        return self._cached_owners[partition]
+
+    def request(self, key, ops, write_count: int = 0):
+        """A generator process: route, send, retry until served.
+
+        Returns the successful :class:`BatchReply`.
+        """
+        env = self.env
+        partition = self.coordinator.partitioner.partition_of(key)
+        refresh = False
+        while True:
+            owner = yield from self._owner(partition, refresh)
+            refresh = False
+            if owner is None:
+                # Mid-transfer: the partition is owner-less; retry.
+                self.retries += 1
+                yield env.timeout(self.retry_delay)
+                refresh = True
+                continue
+            self._next_batch += 1
+            request = BatchRequest(
+                batch_id=self._next_batch,
+                session_id=self.address,
+                reply_to=self.address,
+                world_line=0,
+                min_version=0,
+                first_seqno=self._next_seqno,
+                op_count=len(ops),
+                write_count=write_count,
+                ops=tuple(ops),
+                partition=partition,
+            )
+            self.net.send(self.address, owner, request, size_ops=len(ops))
+            message = yield self.endpoint.inbox.get()
+            reply: BatchReply = message.payload
+            if reply.status == "not_owner":
+                # Stale cache: re-read the mapping and retry (§5.3).
+                self.retries += 1
+                refresh = True
+                yield env.timeout(self.retry_delay)
+                continue
+            self._next_seqno += len(ops)
+            return reply

@@ -1,0 +1,103 @@
+"""Message payloads exchanged on the simulated cluster network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.cuts import DprCut
+from repro.core.versioning import CommitDescriptor, Token
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """A client batch: DPR header fields plus aggregate op composition.
+
+    The simulation works at batch granularity (as libDPR itself does):
+    ``op_count``/``write_count`` describe the batch body without
+    materializing individual operations.
+    """
+
+    batch_id: int
+    session_id: str
+    reply_to: str
+    world_line: int
+    min_version: int
+    first_seqno: int
+    op_count: int
+    write_count: int
+    deps: Tuple[Token, ...] = ()
+    created_at: float = 0.0
+    #: Functional mode: explicit operations to run on a real engine
+    #: (len == op_count).  None in modeled performance runs.
+    ops: Optional[Tuple] = None
+    #: Virtual partition the batch's keys belong to (§5.3); workers
+    #: with an ownership view validate it and reject mis-routed
+    #: batches with status "not_owner".  None skips validation.
+    partition: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class BatchReply:
+    """Server response; carries the worker's cached DPR cut so clients
+    learn commits by piggyback, with no extra round trips (§2)."""
+
+    batch_id: int
+    session_id: str
+    object_id: str
+    status: str  # "ok" | "rolled_back" | "retry"
+    world_line: int
+    version: int = 0
+    op_count: int = 0
+    cut: Optional[DprCut] = None
+    served_at: float = 0.0
+    #: Functional mode: per-op results (None in modeled runs).
+    results: Optional[Tuple] = None
+
+
+@dataclass(frozen=True)
+class SealReport:
+    """Worker -> DPR finder: a version was sealed (deps attached)."""
+
+    descriptor: CommitDescriptor
+
+
+@dataclass(frozen=True)
+class PersistReport:
+    """Worker -> DPR finder: a sealed version finished flushing."""
+
+    object_id: str
+    version: int
+
+
+@dataclass(frozen=True)
+class CutBroadcast:
+    """DPR finder -> workers: a freshly published cut, plus ``Vmax``
+    for the §3.4 laggard fast-forward rule."""
+
+    cut: DprCut
+    world_line: int
+    max_version: int = 0
+
+
+@dataclass(frozen=True)
+class RollbackCommand:
+    """Cluster manager -> worker: roll back to the cut, new world-line."""
+
+    world_line: int
+    cut: DprCut
+
+
+@dataclass(frozen=True)
+class RollbackDone:
+    """Worker -> cluster manager: rollback completed."""
+
+    worker_id: str
+    world_line: int
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Worker -> cluster manager: liveness signal (§4.1)."""
+
+    worker_id: str

@@ -1,0 +1,71 @@
+"""The metadata store: the paper's Azure SQL database (§5.3).
+
+Holds the three tables D-FASTER needs — the DPR table (worker ->
+persisted version, doubling as the source of truth for cluster
+membership), the ownership table (virtual partition -> worker), and the
+published cut/world-line — behind a simulated round-trip latency.
+
+The store itself is fault-tolerant (the paper provisions a managed SQL
+instance); it never crashes in the simulation.  Accesses *are* timed:
+callers yield :meth:`MetadataStore.access` around each logical query,
+which is how "off the critical path" stays honest — nothing on the
+operation fast path ever touches this store.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.core.cuts import DprCut
+from repro.core.finder.base import VersionTable
+from repro.sim.kernel import Environment, Event
+from repro.sim.rand import make_rng
+
+
+class MetadataStore:
+    """Azure-SQL stand-in: VersionTable + ownership + timed access."""
+
+    def __init__(self, env: Environment, rtt_mean: float = 1.2e-3,
+                 rtt_jitter: float = 0.2e-3,
+                 rng: Optional[random.Random] = None):
+        self.env = env
+        self.rtt_mean = rtt_mean
+        self.rtt_jitter = rtt_jitter
+        self._rng = make_rng(rng)
+        #: The durable ``dpr`` table + published cut + world-line.
+        self.version_table = VersionTable()
+        #: virtual partition id -> owning worker id.
+        self.ownership: Dict[int, str] = {}
+        self.queries = 0
+
+    def access(self) -> Event:
+        """One timed round trip to the store (yield this, then read)."""
+        self.queries += 1
+        delay = self.rtt_mean
+        if self.rtt_jitter > 0:
+            delay += abs(self._rng.gauss(0.0, self.rtt_jitter))
+        return self.env.timeout(delay)
+
+    # -- ownership table (§5.3) -------------------------------------------
+
+    def owner_of(self, partition: int) -> Optional[str]:
+        return self.ownership.get(partition)
+
+    def set_owner(self, partition: int, worker_id: Optional[str]) -> None:
+        """Assign (or, with None, clear) a virtual partition's owner."""
+        if worker_id is None:
+            self.ownership.pop(partition, None)
+        else:
+            self.ownership[partition] = worker_id
+
+    # -- membership (the DPR table doubles as membership, §5.3) --------------
+
+    def members(self):
+        return self.version_table.members()
+
+    def add_member(self, worker_id: str) -> None:
+        self.version_table.upsert(worker_id, 0)
+
+    def remove_member(self, worker_id: str) -> None:
+        self.version_table.delete(worker_id)

@@ -1,0 +1,75 @@
+"""A counters-only StateObject for large-scale performance runs.
+
+All of the DPR protocol — versions, the dirty-seal invariant,
+dependency accumulation, fast-forward, world-line gating, restores —
+runs for real through the :class:`~repro.core.state_object.StateObject`
+base class; only the data payloads are elided (operations just bump
+counters).  This lets a simulated run push hundreds of millions of
+logical operations without materializing records, while functional
+tests and examples use the real FASTER/Redis engines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.core.state_object import StateObject
+
+
+class ModeledStore(StateObject):
+    """DPR-complete, payload-free shard used by the benchmark harness.
+
+    Operations are ``("batch", op_count, write_count)`` tuples; apply
+    returns the op count.  Checkpoint size is modelled from distinct
+    dirty records, which also feeds the RCU probability model.
+    """
+
+    RECORD_BYTES = 64
+
+    def __init__(self, object_id: str, effective_keys: float = 1e6, **kwargs):
+        super().__init__(object_id, **kwargs)
+        #: Effective keyspace of this shard (already skew-adjusted).
+        self.effective_keys = effective_keys
+        self.total_ops = 0
+        self.total_writes = 0
+        #: Writes since the last seal — drives RCU probability and the
+        #: fold-over flush size.
+        self.writes_since_seal = 0.0
+        self._flush_sizes: Dict[int, int] = {}
+
+    def apply(self, op: Tuple) -> Any:
+        kind = op[0]
+        if kind != "batch":
+            raise ValueError(f"ModeledStore only executes batch ops, got {kind!r}")
+        op_count, write_count = int(op[1]), int(op[2])
+        self.total_ops += op_count
+        self.total_writes += write_count
+        self.writes_since_seal += write_count
+        return op_count
+
+    def distinct_dirty_records(self) -> float:
+        """Expected distinct keys written since the last seal.
+
+        The fold-over flush writes each dirty record once, however many
+        times it was updated in place (the log-compression effect §5.1
+        describes).
+        """
+        keys = self.effective_keys
+        if keys <= 0:
+            return self.writes_since_seal
+        import math
+        return keys * (1.0 - math.exp(-self.writes_since_seal / keys))
+
+    def snapshot(self, version: int) -> None:
+        dirty = max(1.0, self.distinct_dirty_records())
+        self._flush_sizes[version] = int(dirty * self.RECORD_BYTES)
+        self.writes_since_seal = 0.0
+
+    def checkpoint_bytes(self, version: int) -> int:
+        return self._flush_sizes.get(version, self.RECORD_BYTES)
+
+    def rollback_to(self, version: int) -> None:
+        # No payloads to restore; reset the dirty-tracking state.
+        self.writes_since_seal = 0.0
+        for stale in [v for v in self._flush_sizes if v > version]:
+            del self._flush_sizes[stale]

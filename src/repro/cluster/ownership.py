@@ -1,0 +1,136 @@
+"""Key ownership: virtual partitions, leases, and transfer (§5.3).
+
+Per-key ownership tracking is unrealistic, so keys group into *virtual
+partitions*; users provide the key->partition mapping (hash- and
+range-based schemes ship by default).  Workers validate ownership
+against a local lease-guarded view and reject requests that fail;
+transfers renounce ownership locally *before* updating the metadata
+store, leaving the partition briefly unowned (clients retry), and are
+deferred to checkpoint boundaries so ownership is static within a
+version — the property DPR correctness needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Optional
+
+
+@dataclass(frozen=True)
+class HashPartitioner:
+    """Hash keys into ``partition_count`` virtual partitions."""
+
+    partition_count: int
+
+    def partition_of(self, key: Hashable) -> int:
+        return hash(key) % self.partition_count
+
+
+@dataclass(frozen=True)
+class RangePartitioner:
+    """Partition an integer keyspace ``[0, keyspace)`` into equal ranges."""
+
+    partition_count: int
+    keyspace: int
+
+    def partition_of(self, key: int) -> int:
+        if not 0 <= key < self.keyspace:
+            raise KeyError(f"key {key} outside keyspace [0, {self.keyspace})")
+        return key * self.partition_count // self.keyspace
+
+
+class StaleLeaseError(RuntimeError):
+    """A worker served a request on an expired ownership lease."""
+
+
+@dataclass
+class Lease:
+    """A time-bounded claim on a virtual partition."""
+
+    partition: int
+    worker_id: str
+    expires_at: float
+
+    def valid_at(self, now: float) -> bool:
+        return now < self.expires_at
+
+
+class OwnershipView:
+    """A worker's locally cached, lease-guarded ownership map.
+
+    Workers validate requests against this view rather than the remote
+    metadata store (§5.3, "Ownership Validation and Transfer").
+    """
+
+    def __init__(self, worker_id: str, lease_duration: float = 10.0,
+                 clock: Optional[Callable[[], float]] = None):
+        self.worker_id = worker_id
+        self.lease_duration = lease_duration
+        self._clock = clock or (lambda: 0.0)
+        self._leases: Dict[int, Lease] = {}
+
+    def grant(self, partition: int) -> Lease:
+        """Record (or renew) ownership of a partition."""
+        lease = Lease(
+            partition=partition,
+            worker_id=self.worker_id,
+            expires_at=self._clock() + self.lease_duration,
+        )
+        self._leases[partition] = lease
+        return lease
+
+    def renounce(self, partition: int) -> None:
+        """Drop ownership locally (step 1 of a transfer)."""
+        self._leases.pop(partition, None)
+
+    def owns(self, partition: int) -> bool:
+        lease = self._leases.get(partition)
+        return lease is not None and lease.valid_at(self._clock())
+
+    def validate(self, partition: int) -> None:
+        if not self.owns(partition):
+            raise StaleLeaseError(
+                f"worker {self.worker_id} does not hold a valid lease on "
+                f"partition {partition}"
+            )
+
+    def owned_partitions(self):
+        now = self._clock()
+        return [p for p, l in self._leases.items() if l.valid_at(now)]
+
+
+class OwnershipTransfer:
+    """The §5.3 transfer protocol, deferred to checkpoint boundaries.
+
+    Usage: ``begin()`` renounces locally (requests start bouncing);
+    the worker finishes its in-flight version and commits; then
+    ``complete()`` installs the new owner in the metadata store and the
+    receiving worker grants itself a lease.
+    """
+
+    def __init__(self, partition: int, old_view: OwnershipView,
+                 new_view: OwnershipView, metadata_set_owner):
+        self.partition = partition
+        self._old = old_view
+        self._new = new_view
+        self._set_owner = metadata_set_owner
+        self.begun = False
+        self.completed = False
+
+    def begin(self) -> None:
+        """Old owner renounces; the partition is now owner-less."""
+        if self.begun:
+            return
+        self._old.renounce(self.partition)
+        self._set_owner(self.partition, None)
+        self.begun = True
+
+    def complete(self) -> None:
+        """After the checkpoint boundary: install the new owner."""
+        if not self.begun:
+            raise RuntimeError("transfer not begun")
+        if self.completed:
+            return
+        self._set_owner(self.partition, self._new.worker_id)
+        self._new.grant(self.partition)
+        self.completed = True

@@ -1,0 +1,239 @@
+"""Cluster services: the DPR-finder service and the cluster manager.
+
+The **finder service** (Figure 6's "DPR Tracking") receives seal and
+persist reports from workers, runs the cut-finder algorithm against the
+metadata store on a periodic tick (paying the store's round-trip
+latency — all off the operation critical path), and broadcasts each new
+cut to the workers, which piggyback it on replies.
+
+The **cluster manager** plays the role the paper delegates to
+Kubernetes/Service Fabric (§4.1): it detects (or is told about)
+failures, assigns world-line serials, halts DPR progress, commands
+every worker to roll back to the latest cut, and resumes progress once
+all have reported back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.messages import (
+    CutBroadcast,
+    Heartbeat,
+    PersistReport,
+    RollbackCommand,
+    RollbackDone,
+    SealReport,
+)
+from repro.cluster.metadata import MetadataStore
+from repro.core.finder.base import DprFinder
+from repro.core.recovery import RecoveryController
+from repro.core.versioning import Token
+from repro.sim.kernel import Environment
+from repro.sim.network import Network
+
+
+class FinderService:
+    """The DPR-tracking service wrapping a cut-finder algorithm."""
+
+    def __init__(
+        self,
+        env: Environment,
+        net: Network,
+        address: str,
+        finder: DprFinder,
+        metadata: MetadataStore,
+        worker_addresses: List[str],
+        tick_interval: float = 10e-3,
+    ):
+        self.env = env
+        self.net = net
+        self.address = address
+        self.endpoint = net.register(address)
+        self.finder = finder
+        self.metadata = metadata
+        self.workers = list(worker_addresses)
+        self.tick_interval = tick_interval
+        self.ticks = 0
+        for worker in self.workers:
+            finder.register_object(worker)
+        env.process(self._receive_loop(), name=f"finder-rx:{address}")
+        env.process(self._tick_loop(), name=f"finder-tick:{address}")
+
+    def _receive_loop(self):
+        while True:
+            message = yield self.endpoint.inbox.get()
+            payload = message.payload
+            if isinstance(payload, SealReport):
+                self.finder.report_seal(payload.descriptor)
+            elif isinstance(payload, PersistReport):
+                self.finder.report_persisted(
+                    Token(payload.object_id, payload.version)
+                )
+
+    def _tick_loop(self):
+        env = self.env
+        previous = None
+        while True:
+            yield env.timeout(self.tick_interval)
+            # The cut computation reads/writes the durable store.
+            yield self.metadata.access()
+            cut = self.finder.tick()
+            self.ticks += 1
+            vmax = self.finder.max_version()
+            if cut.versions != previous:
+                previous = dict(cut.versions)
+                broadcast = CutBroadcast(
+                    cut=cut,
+                    world_line=self.finder.table.read_world_line(),
+                    max_version=vmax,
+                )
+                for worker in self.workers:
+                    self.net.send(self.address, worker, broadcast, size_ops=1)
+
+
+class ClusterManager:
+    """Failure detection and recovery orchestration (§4.1, §7.4)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        net: Network,
+        address: str,
+        finder: DprFinder,
+        metadata: MetadataStore,
+        worker_addresses: List[str],
+        heartbeat_timeout: float = 80e-3,
+        restart_delay: float = 50e-3,
+    ):
+        self.env = env
+        self.net = net
+        self.address = address
+        self.endpoint = net.register(address)
+        self.metadata = metadata
+        self.workers = list(worker_addresses)
+        self.controller = RecoveryController(finder)
+        #: (world_line, started_at, finished_at) per recovery.
+        self.recoveries: List[Dict] = []
+        self._pending: Dict[int, set] = {}
+        #: Worker objects the manager can restart (the Kubernetes role:
+        #: "the cluster manager restarts failed servers in bounded
+        #: time", §4.1).  Populated by the cluster assembly.
+        self.worker_registry: Dict[str, object] = {}
+        self.heartbeat_timeout = heartbeat_timeout
+        self.restart_delay = restart_delay
+        self._last_heartbeat: Dict[str, float] = {}
+        self._handling_crash: set = set()
+        #: (worker_id, detected_at, restarted_at) per detected crash.
+        self.detected_crashes: List[Dict] = []
+        env.process(self._receive_loop(), name=f"manager-rx:{address}")
+        env.process(self._monitor_loop(), name=f"manager-mon:{address}")
+
+    # -- failure injection -------------------------------------------------
+
+    def trigger_worldline_bump(self) -> int:
+        """Simulate a failure the way §7.4 does: every worker must roll
+        back to the latest DPR cut on a fresh world-line.  Returns the
+        new world-line id."""
+        self.env.process(self._recover(), name="manager-recover")
+        return self.controller.world_line + 1
+
+    def schedule_failure(self, at_time: float) -> None:
+        def fire():
+            delay = max(0.0, at_time - self.env.now)
+            yield self.env.timeout(delay)
+            self.trigger_worldline_bump()
+        self.env.process(fire(), name=f"failure@{at_time}")
+
+    # -- recovery protocol ------------------------------------------------------
+
+    def _recover(self):
+        # Persist the new world-line + frozen cut in the metadata store
+        # before telling anyone (so the guarantee can never renege).
+        yield self.metadata.access()
+        plan = self.controller.plan_recovery(self.workers)
+        self._pending[plan.world_line] = set(self.workers)
+        self.recoveries.append({
+            "world_line": plan.world_line,
+            "started_at": self.env.now,
+            "finished_at": None,
+        })
+        command = RollbackCommand(world_line=plan.world_line, cut=plan.cut)
+        for worker in self.workers:
+            self.net.send(self.address, worker, command, size_ops=1)
+
+    # -- failure detection (heartbeats) ---------------------------------------
+
+    def _monitor_loop(self):
+        """Detect crashed workers by heartbeat silence and restart them."""
+        env = self.env
+        check_interval = self.heartbeat_timeout / 4
+        while True:
+            yield env.timeout(check_interval)
+            if not self._last_heartbeat:
+                continue  # nothing has ever beaten; still booting
+            for worker_id in self.workers:
+                last = self._last_heartbeat.get(worker_id)
+                if last is None or worker_id in self._handling_crash:
+                    continue
+                if env.now - last > self.heartbeat_timeout:
+                    self._handling_crash.add(worker_id)
+                    env.process(self._handle_crash(worker_id),
+                                name=f"crash:{worker_id}")
+
+    def _handle_crash(self, worker_id: str):
+        """Restart the dead worker and roll the survivors back (§4.1)."""
+        env = self.env
+        record = {"worker_id": worker_id, "detected_at": env.now,
+                  "restarted_at": None}
+        self.detected_crashes.append(record)
+        # Freeze the guarantee and assign the new world-line first.
+        yield self.metadata.access()
+        plan = self.controller.plan_recovery(self.workers)
+        self._pending[plan.world_line] = set(self.workers)
+        self.recoveries.append({
+            "world_line": plan.world_line,
+            "started_at": env.now,
+            "finished_at": None,
+        })
+        command = RollbackCommand(world_line=plan.world_line, cut=plan.cut)
+        for survivor in self.workers:
+            if survivor != worker_id:
+                self.net.send(self.address, survivor, command, size_ops=1)
+        # Bounded-time restart of the failed worker from durable state.
+        yield env.timeout(self.restart_delay)
+        worker = self.worker_registry.get(worker_id)
+        if worker is not None:
+            resume = self.controller.finder.table.max_version() + 1
+            worker.restart(plan.cut, plan.world_line, resume_version=resume)
+        record["restarted_at"] = env.now
+        self._last_heartbeat[worker_id] = env.now
+        self._handling_crash.discard(worker_id)
+        # The restarted worker is already at the cut: report it restored.
+        self._absorb_rollback_done(RollbackDone(worker_id, plan.world_line))
+
+    def _receive_loop(self):
+        while True:
+            message = yield self.endpoint.inbox.get()
+            payload = message.payload
+            if isinstance(payload, Heartbeat):
+                self._last_heartbeat[payload.worker_id] = self.env.now
+            elif isinstance(payload, RollbackDone):
+                self._absorb_rollback_done(payload)
+
+    def _absorb_rollback_done(self, payload: RollbackDone) -> None:
+        pending = self._pending.get(payload.world_line)
+        if pending is None:
+            return
+        pending.discard(payload.worker_id)
+        if payload.world_line == self.controller.world_line:
+            # Only the newest world-line's completions count — a nested
+            # failure supersedes older recoveries and re-halts DPR until
+            # its own rollbacks finish.
+            self.controller.report_restored(payload.worker_id)
+        if not pending:
+            del self._pending[payload.world_line]
+            for record in self.recoveries:
+                if (record["world_line"] == payload.world_line
+                        and record["finished_at"] is None):
+                    record["finished_at"] = self.env.now

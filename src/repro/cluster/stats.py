@@ -1,0 +1,135 @@
+"""Experiment statistics: throughput buckets and latency reservoirs."""
+
+from __future__ import annotations
+
+import random
+from bisect import insort
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.rand import make_rng
+
+
+class Reservoir:
+    """Fixed-size uniform reservoir sample of latency observations."""
+
+    def __init__(self, capacity: int = 20000, rng=None):
+        self.capacity = capacity
+        self._rng = make_rng(rng)
+        self._samples: List[float] = []
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                self._samples[slot] = value
+
+    def percentile(self, q: float) -> float:
+        """q in [0, 100]."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(q / 100.0 * len(ordered)))
+        return ordered[index]
+
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class TimeSeries:
+    """Ops counted into fixed-width time buckets (Figure 16 timelines).
+
+    Keep measurement windows aligned to bucket boundaries — the default
+    50 ms buckets make 0.1/0.4/1.0-second windows exact.
+    """
+
+    def __init__(self, bucket_width: float = 0.05):
+        self.bucket_width = bucket_width
+        self._buckets: Dict[int, float] = {}
+
+    def add(self, time: float, count: float = 1.0) -> None:
+        bucket = int(time / self.bucket_width)
+        self._buckets[bucket] = self._buckets.get(bucket, 0.0) + count
+
+    def series(self, width: Optional[float] = None) -> List[Tuple[float, float]]:
+        """(bucket start time, ops/sec within bucket) pairs, sorted.
+
+        ``width`` resamples into coarser buckets (must be a multiple of
+        the native width) — e.g. the Figure 16 timeline uses 250 ms.
+        """
+        if width is None or width == self.bucket_width:
+            return [
+                (bucket * self.bucket_width, count / self.bucket_width)
+                for bucket, count in sorted(self._buckets.items())
+            ]
+        factor = max(1, round(width / self.bucket_width))
+        coarse: Dict[int, float] = {}
+        for bucket, count in self._buckets.items():
+            coarse[bucket // factor] = coarse.get(bucket // factor, 0.0) + count
+        actual = factor * self.bucket_width
+        return [(b * actual, c / actual) for b, c in sorted(coarse.items())]
+
+    def total(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        total = 0.0
+        for bucket, count in self._buckets.items():
+            time = bucket * self.bucket_width
+            if time < start:
+                continue
+            if end is not None and time >= end:
+                continue
+            total += count
+        return total
+
+
+@dataclass
+class ClusterStats:
+    """Everything the benchmark harness reads after a run."""
+
+    completed: TimeSeries = field(default_factory=TimeSeries)
+    committed: TimeSeries = field(default_factory=TimeSeries)
+    aborted: TimeSeries = field(default_factory=TimeSeries)
+    operation_latency: Reservoir = field(default_factory=Reservoir)
+    commit_latency: Reservoir = field(default_factory=Reservoir)
+    #: Warmup cutoff applied by throughput().
+    warmup: float = 0.0
+
+    def throughput(self, start: Optional[float] = None,
+                   end: Optional[float] = None,
+                   duration: Optional[float] = None) -> float:
+        """Completed ops/sec over the measurement window."""
+        start = self.warmup if start is None else start
+        total = self.completed.total(start, end)
+        if duration is None:
+            series = self.completed.series()
+            if not series:
+                return 0.0
+            last = series[-1][0] + self.completed.bucket_width
+            duration = max(self.completed.bucket_width,
+                           (last if end is None else end) - start)
+        return total / duration
+
+    def commit_throughput(self, start: Optional[float] = None,
+                          end: Optional[float] = None) -> float:
+        start = self.warmup if start is None else start
+        series = self.committed.series()
+        if not series:
+            return 0.0
+        last = series[-1][0] + self.committed.bucket_width
+        duration = max(self.committed.bucket_width,
+                       (last if end is None else end) - start)
+        return self.committed.total(start, end) / duration

@@ -1,0 +1,38 @@
+"""The DPR protocol — the paper's primary contribution.
+
+Layout:
+
+- :mod:`repro.core.versioning` — tokens and commit descriptors.
+- :mod:`repro.core.state_object` — the ``Op()/Commit()/Restore()``
+  abstraction (§3) plus a reference in-memory implementation.
+- :mod:`repro.core.session` — client sessions, SessionOrder, the
+  ``Vs`` version-vector progress protocol (§3.2).
+- :mod:`repro.core.precedence` — the precedence graph (§3.1).
+- :mod:`repro.core.cuts` — DPR-cuts and DPR-guarantees (Defs 3.1/3.2).
+- :mod:`repro.core.finder` — exact, approximate and hybrid cut finders
+  (§3.3–3.4).
+- :mod:`repro.core.worldline` — world-line tracking for non-blocking
+  recovery (§4.2).
+- :mod:`repro.core.recovery` — rollback orchestration logic (§4).
+- :mod:`repro.core.libdpr` — the generic wrapper library used to build
+  D-Redis (§6).
+"""
+
+from repro.core.cuts import DprCut, DprGuarantee
+from repro.core.precedence import PrecedenceGraph
+from repro.core.session import RollbackError, Session, SessionStatus
+from repro.core.state_object import InMemoryStateObject, StateObject
+from repro.core.versioning import CommitDescriptor, Token
+
+__all__ = [
+    "CommitDescriptor",
+    "DprCut",
+    "DprGuarantee",
+    "InMemoryStateObject",
+    "PrecedenceGraph",
+    "RollbackError",
+    "Session",
+    "SessionStatus",
+    "StateObject",
+    "Token",
+]

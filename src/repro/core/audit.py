@@ -1,0 +1,105 @@
+"""Runtime invariant auditing.
+
+``audit_deployment`` inspects a set of StateObjects plus their finder
+and verifies the §4.3 correctness obligations hold *right now*:
+
+- **monotonicity** — no sealed version depends on a larger version;
+- **cut soundness** — the published cut only references versions with
+  durable coverage, and is transitively closed over the reported
+  dependencies;
+- **durability ordering** — every shard's persisted-version list is
+  strictly increasing (flushes complete in seal order);
+- **world-line agreement** — no shard is behind the durable world-line
+  the metadata store has published.
+
+The checks are read-only and cheap; long-running deployments (and the
+property-based tests) can call them at any point.  Violations raise
+:class:`InvariantViolation` with a precise description.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping
+
+from repro.core.finder.base import DprFinder
+from repro.core.state_object import StateObject
+
+
+class InvariantViolation(AssertionError):
+    """An audited invariant does not hold."""
+
+
+def audit_monotonicity(objects: Mapping[str, StateObject]) -> None:
+    """No sealed version may depend on a strictly larger version."""
+    for name, obj in objects.items():
+        for version, descriptor in obj._sealed.items():
+            for dep in descriptor.deps:
+                if dep.version > version:
+                    raise InvariantViolation(
+                        f"monotonicity: {name}-{version} depends on the "
+                        f"larger version {dep}"
+                    )
+
+
+def audit_durability_order(objects: Mapping[str, StateObject]) -> None:
+    """Persisted versions must be strictly increasing per shard."""
+    for name, obj in objects.items():
+        versions = obj.persisted_versions()
+        for earlier, later in zip(versions, versions[1:]):
+            if later <= earlier:
+                raise InvariantViolation(
+                    f"durability order: {name} persisted {later} after "
+                    f"{earlier}"
+                )
+
+
+def audit_cut(finder: DprFinder,
+              objects: Mapping[str, StateObject]) -> None:
+    """The published cut must be durable and transitively closed."""
+    cut = finder.current_cut()
+    for name, obj in objects.items():
+        position = cut.version_of(name)
+        if position == 0:
+            continue
+        # Durability: a persisted checkpoint must cover the position
+        # (the dirty-seal invariant guarantees every dirty version has
+        # its own checkpoint, so coverage means nothing claimed is lost).
+        if obj.max_persisted_version < obj.latest_persisted_at_or_below(
+                position):
+            raise InvariantViolation(
+                f"cut durability: {name} bookkeeping is inconsistent"
+            )
+        for version, descriptor in obj._sealed.items():
+            if version > position:
+                continue
+            for dep in descriptor.deps:
+                if cut.version_of(dep.object_id) < dep.version:
+                    raise InvariantViolation(
+                        f"cut closure: {name}-{version} is covered by "
+                        f"{cut} but depends on uncovered {dep}"
+                    )
+
+
+def audit_world_lines(finder: DprFinder,
+                      objects: Mapping[str, StateObject]) -> None:
+    """No shard may trail the durably published world-line once the
+    recovery that published it has completed (finder un-halted)."""
+    if finder.halted:
+        return  # recovery in flight; shards legitimately trail
+    published = finder.table.read_world_line()
+    for name, obj in objects.items():
+        if obj.world_line.current > published:
+            raise InvariantViolation(
+                f"world-line: {name} is at {obj.world_line.current}, "
+                f"ahead of the published {published}"
+            )
+
+
+def audit_deployment(finder: DprFinder,
+                     objects: Mapping[str, StateObject]) -> List[str]:
+    """Run every audit; returns the list of checks that passed."""
+    audit_monotonicity(objects)
+    audit_durability_order(objects)
+    audit_cut(finder, objects)
+    audit_world_lines(finder, objects)
+    return ["monotonicity", "durability-order", "cut", "world-lines"]

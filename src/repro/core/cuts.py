@@ -1,0 +1,124 @@
+"""DPR-cuts and DPR-guarantees (Definitions 3.1 and 3.2).
+
+A :class:`DprCut` maps each StateObject to the version it would be
+restored to; because versions are cumulative prefixes, a mapping is
+exactly "a set of tokens, one per object".  A :class:`DprGuarantee`
+maps each session to the point on its SessionOrder below which every
+operation survives any failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.core.versioning import NEVER_COMMITTED, Token
+
+
+@dataclass(frozen=True)
+class DprCut:
+    """A set of tokens forming a prefix-consistent restore point.
+
+    ``versions[obj]`` is the committed version ``obj`` is guaranteed to
+    retain after any failure.  Objects absent from the mapping are at
+    :data:`NEVER_COMMITTED` (no recoverable state).
+    """
+
+    versions: Mapping[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, *tokens: Token) -> "DprCut":
+        return cls({t.object_id: t.version for t in tokens})
+
+    def version_of(self, object_id: str) -> int:
+        return self.versions.get(object_id, NEVER_COMMITTED)
+
+    def covers(self, token: Token) -> bool:
+        """Whether the cut includes (all operations of) ``token``."""
+        return token.version <= self.version_of(token.object_id)
+
+    def tokens(self) -> Iterator[Token]:
+        for object_id, version in self.versions.items():
+            yield Token(object_id, version)
+
+    def dominates(self, other: "DprCut") -> bool:
+        """Componentwise >=: this cut recovers at least as much as other."""
+        return all(
+            self.version_of(obj) >= ver for obj, ver in other.versions.items()
+        )
+
+    def merge_max(self, other: "DprCut") -> "DprCut":
+        """Componentwise max (used when combining finder outputs)."""
+        merged = dict(self.versions)
+        for obj, ver in other.versions.items():
+            if merged.get(obj, NEVER_COMMITTED) < ver:
+                merged[obj] = ver
+        return DprCut(merged)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in sorted(self.tokens()))
+        return f"{{{inner}}}"
+
+
+@dataclass(frozen=True)
+class DprGuarantee:
+    """Per-session recoverable prefixes backed by a cut (Def 3.2).
+
+    ``watermarks[session_id]`` is the largest sequence number on that
+    session's SessionOrder such that every earlier completed operation
+    is recovered under failure.  ``exceptions`` lists sequence numbers
+    below the watermark that are *not* recovered — the relaxed-DPR
+    exception list of §5.4 (always empty under strict DPR).
+    """
+
+    watermarks: Mapping[str, int] = field(default_factory=dict)
+    exceptions: Mapping[str, Tuple[int, ...]] = field(default_factory=dict)
+
+    def watermark(self, session_id: str) -> int:
+        return self.watermarks.get(session_id, 0)
+
+    def survives(self, session_id: str, seqno: int) -> bool:
+        """Whether operation ``seqno`` of ``session_id`` is guaranteed."""
+        if seqno > self.watermark(session_id):
+            return False
+        return seqno not in self.exceptions.get(session_id, ())
+
+
+def guarantee_from_cut(
+    cut: DprCut,
+    session_ops: Mapping[str, Iterable[Tuple[int, str, int]]],
+    pending: Optional[Mapping[str, Iterable[int]]] = None,
+) -> DprGuarantee:
+    """Derive the DPR-guarantee a cut provides to each session.
+
+    Args:
+        cut: the DPR-cut.
+        session_ops: per session, ``(seqno, object_id, version)`` triples
+            in SessionOrder, where ``version`` is the version the op
+            executed in at ``object_id``.
+        pending: per session, seqnos of operations that are PENDING
+            (issued but unresolved, §5.4); these do not gate the
+            watermark but are reported as exceptions when uncovered.
+
+    The watermark is the largest prefix whose non-pending operations are
+    all covered by the cut.
+    """
+    pending = pending or {}
+    watermarks: Dict[str, int] = {}
+    exceptions: Dict[str, Tuple[int, ...]] = {}
+    for session_id, ops in session_ops.items():
+        pending_set = set(pending.get(session_id, ()))
+        watermark = 0
+        holes = []
+        for seqno, object_id, version in sorted(ops):
+            covered = version <= cut.version_of(object_id)
+            if covered:
+                watermark = seqno
+            elif seqno in pending_set:
+                holes.append(seqno)
+            else:
+                break
+        watermarks[session_id] = watermark
+        if holes:
+            exceptions[session_id] = tuple(h for h in holes if h < watermark)
+    return DprGuarantee(watermarks, exceptions)

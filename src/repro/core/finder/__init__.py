@@ -1,0 +1,28 @@
+"""DPR cut-finder algorithms (§3.3–§3.4).
+
+Three algorithms with an accuracy/scalability trade-off:
+
+- :class:`~repro.core.finder.exact.ExactDprFinder` — persists the full
+  precedence graph and has a coordinator compute maximal transitive
+  closures (Figure 4, top).
+- :class:`~repro.core.finder.approximate.ApproximateDprFinder` — stores
+  only per-object persisted version numbers; the cut is the global
+  minimum, with ``Vmax`` fast-forwarding to bound laggards (Figure 4,
+  bottom).
+- :class:`~repro.core.finder.hybrid.HybridDprFinder` — the exact graph
+  kept only in memory, with the approximate algorithm as the
+  fault-tolerant fallback after a coordinator crash.
+"""
+
+from repro.core.finder.base import DprFinder, VersionTable
+from repro.core.finder.approximate import ApproximateDprFinder
+from repro.core.finder.exact import ExactDprFinder
+from repro.core.finder.hybrid import HybridDprFinder
+
+__all__ = [
+    "ApproximateDprFinder",
+    "DprFinder",
+    "ExactDprFinder",
+    "HybridDprFinder",
+    "VersionTable",
+]

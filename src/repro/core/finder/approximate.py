@@ -1,0 +1,46 @@
+"""The approximate DPR finder (§3.4, Figure 4 bottom).
+
+StateObjects write only their latest persisted version number to the
+durable table and discard dependency information.  Since the progress
+protocol guarantees no version depends on a larger version, all tokens
+at or below ``Vmin = min(persistedVersion)`` form a valid DPR-cut.
+
+Laggards are handled with the ``Vmax`` rule: each StateObject
+periodically reads the table's max version and fast-forwards its next
+checkpoint to at least that value, so a quiet shard holds the cut back
+for at most one checkpoint interval.
+
+The computation is cheap enough to push down to the metadata store as
+two SQL aggregates — no coordinator node required, which is also why it
+serves as the fault-tolerant fallback of the hybrid algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.core.cuts import DprCut
+from repro.core.finder.base import DprFinder
+from repro.core.versioning import NEVER_COMMITTED, CommitDescriptor, Token
+
+
+class ApproximateDprFinder(DprFinder):
+    """Min-version cut finder; imprecise but dependency-free."""
+
+    def report_seal(self, descriptor: CommitDescriptor) -> None:
+        """Dependencies are deliberately discarded (that is the point)."""
+
+    def report_persisted(self, token: Token) -> None:
+        self.table.upsert(token.object_id, token.version)
+
+    def _compute(self) -> DprCut:
+        """Publish the cut ``{obj: Vmin}`` for every registered object.
+
+        Correct because (a) monotonicity bounds every dependency of a
+        version ``<= Vmin`` at or below ``Vmin``, and (b) the dirty-seal
+        invariant means each object has a durable checkpoint covering
+        exactly its operations at versions ``<= Vmin``.
+        """
+        minimum = self.table.min_version()
+        if minimum <= NEVER_COMMITTED:
+            return self._publish(DprCut())
+        cut = DprCut({obj: minimum for obj in self.table.members()})
+        return self._publish(cut)

@@ -1,0 +1,85 @@
+"""The hybrid DPR finder (§3.4, last paragraph).
+
+The precedence graph is kept *only in coordinator memory* — removing
+the durable-graph write bottleneck — while StateObjects still write
+their persisted version numbers to the durable table, i.e. the
+approximate algorithm runs in parallel.
+
+In the failure-free case the hybrid cut is as fresh as the exact one.
+When the coordinator crashes, the in-memory graph is lost; the restarted
+coordinator cannot trust dependency sets that reference the missing
+subgraph, so the exact computation stalls — but the approximate ``Vmin``
+keeps advancing, and once it passes the missing region the exact
+algorithm resumes on the graph rebuilt from post-crash reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.cuts import DprCut
+from repro.core.finder.base import DprFinder, VersionTable
+from repro.core.precedence import PrecedenceGraph
+from repro.core.versioning import NEVER_COMMITTED, CommitDescriptor, Token
+
+
+class HybridDprFinder(DprFinder):
+    """Exact precision without a durable graph, approximate fall-back."""
+
+    def __init__(self, table: Optional[VersionTable] = None):
+        super().__init__(table)
+        self.graph = PrecedenceGraph()
+        #: Versions at or below this are unknowable after the last
+        #: coordinator crash; the exact pass treats them as covered only
+        #: once the approximate Vmin has passed them.
+        self._graph_floor = NEVER_COMMITTED
+        self.coordinator_crashes = 0
+
+    def report_seal(self, descriptor: CommitDescriptor) -> None:
+        self.graph.add_commit(descriptor)
+
+    def report_persisted(self, token: Token) -> None:
+        # The durable write is only the version number (approximate part).
+        self.table.upsert(token.object_id, token.version)
+        if token in self.graph:
+            self.graph.mark_persisted(token)
+
+    def crash_coordinator(self, horizon: Optional[int] = None) -> None:
+        """Lose the in-memory graph.
+
+        ``horizon`` is the largest version that may have existed in the
+        lost subgraph; by the progress protocol nothing larger can
+        depend on anything at or below it once ``Vmin`` passes it.
+        Defaults to the largest version the durable table has seen,
+        which is always a safe upper bound.
+        """
+        if horizon is None:
+            horizon = self.table.max_version()
+        self.graph = PrecedenceGraph()
+        self._graph_floor = max(self._graph_floor, horizon)
+        self.coordinator_crashes += 1
+
+    @property
+    def recovered(self) -> bool:
+        """Whether the exact pass has regained full precision."""
+        return self.table.min_version() >= self._graph_floor
+
+    def _compute(self) -> DprCut:
+        """Approximate cut, upgraded by the exact graph where trustable."""
+        minimum = self.table.min_version()
+        cut = DprCut()
+        if minimum > NEVER_COMMITTED:
+            cut = DprCut({obj: minimum for obj in self.table.members()})
+        # The exact pass may only assume coverage below max(Vmin reached,
+        # crash horizon): deps pointing into the lost subgraph resolve
+        # only via the approximate floor.
+        floor = max(minimum, self._graph_floor) if self._graph_floor else minimum
+        if self._graph_floor > minimum:
+            # Approximate hasn't overtaken the lost region yet: the graph
+            # alone proves nothing beyond the approximate cut.
+            exact_cut = DprCut()
+        else:
+            exact_cut = self.graph.max_closed_cut(floor=floor)
+        published = self._publish(cut.merge_max(exact_cut))
+        self.graph.prune_below(published)
+        return published

@@ -1,0 +1,26 @@
+"""libDPR — add DPR guarantees to an *unmodified* cache-store (§6).
+
+The library has a client half and a server half.  The client half
+assigns sequence numbers, computes dependency headers, tracks committed
+prefixes and detects rollbacks.  The server half gates each incoming
+batch (world-line check, version fast-forward), executes it against the
+wrapped StateObject, and stamps the response with per-operation version
+information.  D-Redis is exactly ``libDPR + unmodified Redis``; the
+same wrappers work for any StateObject implementation.
+"""
+
+from repro.core.libdpr.messages import (
+    BatchStatus,
+    DprBatchHeader,
+    DprBatchResponse,
+)
+from repro.core.libdpr.client import DprClientSession
+from repro.core.libdpr.server import DprServer
+
+__all__ = [
+    "BatchStatus",
+    "DprBatchHeader",
+    "DprBatchResponse",
+    "DprClientSession",
+    "DprServer",
+]

@@ -1,0 +1,115 @@
+"""Client half of libDPR (§6).
+
+Wraps a :class:`repro.core.session.Session` with the batch-oriented
+interface the D-Redis client wrapper uses: it cuts operation streams
+into batches, stamps each with a :class:`DprBatchHeader`, folds
+responses back into the SessionOrder, tracks the committed prefix
+against published cuts, and turns world-line bumps into
+:class:`~repro.core.session.RollbackError` with the exact surviving
+prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cuts import DprCut
+from repro.core.libdpr.messages import BatchStatus, DprBatchHeader, DprBatchResponse
+from repro.core.session import RollbackError, Session
+from repro.core.versioning import Token
+
+
+class DprClientSession:
+    """Session-based client interface with batching (Figure 9, left)."""
+
+    def __init__(self, session_id: str, strict: bool = False):
+        self.session = Session(session_id, strict=strict)
+        #: Batches sent but not yet answered: first_seqno -> op count.
+        self._inflight: Dict[int, int] = {}
+
+    @property
+    def session_id(self) -> str:
+        return self.session.session_id
+
+    @property
+    def committed_seqno(self) -> int:
+        return self.session.committed_seqno
+
+    @property
+    def world_line(self) -> int:
+        return self.session.world_line.current
+
+    # -- outgoing ----------------------------------------------------------
+
+    def prepare_batch(self, object_id: str, count: int,
+                      now: float = 0.0) -> DprBatchHeader:
+        """Assign seqnos to ``count`` operations and build the header."""
+        if count < 1:
+            raise ValueError("a batch contains at least one operation")
+        headers = [self.session.issue(object_id, now=now) for _ in range(count)]
+        first = headers[0]
+        # Per-op deps collapse into the batch header: the first issue()
+        # call consumed the session's recent-completions set; later ones
+        # in the same batch are empty by construction.
+        deps: Tuple[Token, ...] = first.deps
+        header = DprBatchHeader(
+            session_id=first.session_id,
+            world_line=first.world_line,
+            min_version=first.min_version,
+            first_seqno=first.seqno,
+            count=count,
+            deps=deps,
+        )
+        self._inflight[header.first_seqno] = count
+        return header
+
+    # -- incoming -----------------------------------------------------------
+
+    def absorb_response(self, response: DprBatchResponse,
+                        now: float = 0.0) -> List[Any]:
+        """Fold a server response into the session.
+
+        Returns the per-operation results on success.  Raises
+        :class:`RollbackError` when the server reports a world-line the
+        session has not seen (the §4.2 REJECT path) — the error carries
+        the surviving prefix computed against the last known cut.
+        """
+        if response.status is BatchStatus.ROLLED_BACK:
+            raise self.observe_failure(response.world_line, self._last_cut)
+        if response.status is BatchStatus.RETRY:
+            # Leave the ops pending; the caller re-sends the same batch.
+            return []
+        self._inflight.pop(response.first_seqno, None)
+        for offset, version in enumerate(response.versions):
+            self.session.complete(response.first_seqno + offset, version,
+                                  now=now)
+        return list(response.results)
+
+    # -- commit tracking -------------------------------------------------------
+
+    _last_cut: DprCut = DprCut()
+
+    def refresh_commit(self, cut: DprCut, now: float = 0.0) -> int:
+        """Fold a freshly published DPR-cut into the committed prefix."""
+        self._last_cut = cut
+        return self.session.refresh_commit(cut, now=now)
+
+    def committed(self, seqno: int) -> bool:
+        """Whether operation ``seqno`` is covered by the guarantee."""
+        if seqno > self.session.committed_seqno:
+            return False
+        return seqno not in self.session.committed_exceptions
+
+    # -- failure handling ---------------------------------------------------------
+
+    def observe_failure(self, new_world_line: int,
+                        cut: Optional[DprCut] = None) -> RollbackError:
+        """Handle a world-line bump; returns the rollback error to raise."""
+        self._inflight.clear()
+        error = self.session.observe_failure(
+            new_world_line, cut if cut is not None else self._last_cut
+        )
+        return error
+
+    def acknowledge_rollback(self) -> None:
+        self.session.acknowledge_rollback()

@@ -1,0 +1,155 @@
+"""Server half of libDPR (§6, Figure 9 right).
+
+``DprServer`` wraps *any* StateObject — for D-Redis the StateObject is
+an unmodified Redis instance behind a thin adapter — and is invoked
+before and after each request batch:
+
+- **before**: the world-line gate (reject batches from a stale
+  world-line, delay batches from the future), then the §3.2 version
+  check (fast-forward or eagerly commit until the object's version
+  reaches the header's ``min_version``);
+- **execute**: hand the batch body to the cache-store;
+- **after**: stamp the response with per-operation versions and the
+  server's world-line.
+
+The server also owns periodic ``Commit()`` / ``Restore()`` invocations
+on the wrapped StateObject, reporting seals and flush completions to
+the DPR finder.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.core.finder.base import DprFinder
+from repro.core.libdpr.messages import BatchStatus, DprBatchHeader, DprBatchResponse
+from repro.core.state_object import StateObject, WorldLineMismatch
+from repro.core.versioning import CommitDescriptor
+from repro.core.worldline import WorldLineDecision
+
+
+class DprServer:
+    """Server-side libDPR wrapper around one StateObject."""
+
+    def __init__(
+        self,
+        state_object: StateObject,
+        finder: DprFinder,
+        flush_fn: Optional[Callable[[CommitDescriptor], None]] = None,
+    ):
+        self.state_object = state_object
+        self.finder = finder
+        #: Makes a sealed version durable and (eventually) calls
+        #: :meth:`report_persisted`.  The default flushes synchronously;
+        #: the simulated cluster injects an async storage write instead.
+        self._flush_fn = flush_fn or self._flush_synchronously
+        finder.register_object(state_object.object_id)
+        #: Batches delayed because the client is on a future world-line.
+        self.delayed_batches = 0
+        self.rejected_batches = 0
+
+    def _flush_synchronously(self, descriptor: CommitDescriptor) -> None:
+        self.report_persisted(descriptor.token.version)
+
+    @property
+    def object_id(self) -> str:
+        return self.state_object.object_id
+
+    # -- the per-batch path ------------------------------------------------
+
+    def process_batch(
+        self,
+        header: DprBatchHeader,
+        ops: Sequence[Any],
+        apply_fn: Optional[Callable[[Any], Any]] = None,
+    ) -> DprBatchResponse:
+        """Run one batch through DPR gating and the cache-store.
+
+        ``apply_fn`` overrides the StateObject's own ``apply`` — the
+        D-Redis wrapper passes the function that forwards a command to
+        the real Redis instance.
+        """
+        if len(ops) != header.count:
+            raise ValueError(
+                f"header says {header.count} ops, batch has {len(ops)}"
+            )
+        decision = self.state_object.world_line.gate(header.world_line)
+        if decision is WorldLineDecision.REJECT:
+            self.rejected_batches += 1
+            return DprBatchResponse(
+                session_id=header.session_id,
+                status=BatchStatus.ROLLED_BACK,
+                world_line=self.state_object.world_line.current,
+                first_seqno=header.first_seqno,
+                object_id=self.object_id,
+            )
+        if decision is WorldLineDecision.DELAY:
+            self.delayed_batches += 1
+            return DprBatchResponse(
+                session_id=header.session_id,
+                status=BatchStatus.RETRY,
+                world_line=self.state_object.world_line.current,
+                first_seqno=header.first_seqno,
+                object_id=self.object_id,
+            )
+        results: List[Any] = []
+        versions: List[int] = []
+        deps = header.deps
+        for offset, op in enumerate(ops):
+            outcome = self.state_object.execute(
+                op,
+                session_id=header.session_id,
+                seqno=header.first_seqno + offset,
+                min_version=header.min_version,
+                deps=deps,
+                apply_override=apply_fn,
+            )
+            deps = ()  # deps attach once per batch
+            results.append(outcome.value)
+            versions.append(outcome.version)
+        self._report_autosealed()
+        return DprBatchResponse(
+            session_id=header.session_id,
+            status=BatchStatus.OK,
+            world_line=self.state_object.world_line.current,
+            first_seqno=header.first_seqno,
+            versions=tuple(versions),
+            results=tuple(results),
+            object_id=self.object_id,
+        )
+
+    # -- commit / restore ownership ------------------------------------------
+
+    def commit(self) -> CommitDescriptor:
+        """Trigger ``Commit()`` on the wrapped store and report it.
+
+        Seals the in-progress version and hands the descriptor to the
+        flush function — synchronous by default, an async storage write
+        in the simulated cluster.
+        """
+        self._report_autosealed()
+        descriptor = self.state_object.seal_version()
+        self.finder.report_seal(descriptor)
+        self._flush_fn(descriptor)
+        return descriptor
+
+    def report_persisted(self, version: int) -> None:
+        self.state_object.mark_persisted(version)
+        self.finder.report_persisted(self.state_object.token_for(version))
+
+    def fast_forward_to_vmax(self) -> None:
+        """The §3.4 laggard rule: jump the next checkpoint to ``Vmax``."""
+        vmax = self.finder.max_version()
+        if vmax > self.state_object.version:
+            self.state_object.fast_forward(vmax)
+            self._report_autosealed()
+
+    def restore(self, version: int, world_line: int) -> int:
+        """``Restore()`` to the cut position, on the new world-line."""
+        return self.state_object.restore(version, world_line=world_line)
+
+    def _report_autosealed(self) -> None:
+        """Report and flush versions sealed implicitly by fast-forwards."""
+        for descriptor in self.state_object.drain_sealed():
+            self.finder.report_seal(descriptor)
+            self._flush_fn(descriptor)

@@ -1,0 +1,232 @@
+"""The precedence graph (§3.1) and the maximal-closed-cut computation.
+
+Every committed version is a vertex; a directed edge goes from ``B-n``
+to ``A-m`` when an operation captured by ``A-m`` is immediately followed
+(on some SessionOrder) by an operation captured by ``B-n``.  A set of
+tokens forms a DPR-cut iff it is closed under the transitive dependency
+relation and every member is durable.
+
+Because the progress protocol guarantees *monotonicity* (no version
+depends on a larger version, §3.2) and versions are cumulative, the
+maximal cut can be found with a per-object fixpoint over durable
+versions rather than a full BFS per vertex — though we also provide the
+paper's literal ``BuildDependencySet`` BFS for the exact coordinator.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.core.cuts import DprCut
+from repro.core.versioning import NEVER_COMMITTED, CommitDescriptor, Token, merge_dependencies
+
+
+class MonotonicityViolation(RuntimeError):
+    """A version was reported depending on a strictly larger version.
+
+    The §3.2 progress protocol makes this impossible; seeing it means a
+    StateObject did not fast-forward before executing a request.
+    """
+
+
+class PrecedenceGraph:
+    """Tracks committed versions, their dependencies, and durability.
+
+    The graph distinguishes *committed* (version sealed, flush started)
+    from *persisted* (flush finished, token durable).  Only persisted
+    tokens may enter a cut.
+    """
+
+    def __init__(self, enforce_monotonicity: bool = True):
+        self._descriptors: Dict[Token, CommitDescriptor] = {}
+        self._persisted: Set[Token] = set()
+        #: per-object sorted list of committed versions
+        self._versions: Dict[str, List[int]] = defaultdict(list)
+        self._enforce = enforce_monotonicity
+
+    # -- construction ---------------------------------------------------
+
+    def add_commit(self, descriptor: CommitDescriptor) -> None:
+        """Add a newly sealed version (not durable yet)."""
+        token = descriptor.token
+        if token in self._descriptors:
+            raise ValueError(f"duplicate commit for {token}")
+        if self._enforce:
+            for dep in descriptor.deps:
+                if dep.version > token.version:
+                    raise MonotonicityViolation(
+                        f"{token} depends on larger version {dep}"
+                    )
+        deps = merge_dependencies(descriptor.deps)
+        descriptor = CommitDescriptor(
+            token=token,
+            deps=deps,
+            session_watermarks=descriptor.session_watermarks,
+            exceptions=descriptor.exceptions,
+        )
+        self._descriptors[token] = descriptor
+        versions = self._versions[token.object_id]
+        if versions and token.version <= versions[-1]:
+            raise ValueError(
+                f"non-increasing version {token} after {token.object_id}-{versions[-1]}"
+            )
+        versions.append(token.version)
+
+    def mark_persisted(self, token: Token) -> None:
+        """Mark a previously added commit as durable."""
+        if token not in self._descriptors:
+            raise KeyError(f"unknown token {token}")
+        self._persisted.add(token)
+
+    def forget_object(self, object_id: str) -> None:
+        """Drop all state for an object (used when a shard is removed)."""
+        for version in self._versions.pop(object_id, []):
+            token = Token(object_id, version)
+            self._descriptors.pop(token, None)
+            self._persisted.discard(token)
+
+    def prune_below(self, cut: DprCut) -> int:
+        """Garbage-collect versions at or below the stable cut.
+
+        Once a cut is fault-tolerantly persisted, versions it covers can
+        never be rolled back, so their graph state is dead.  Returns the
+        number of vertices removed.
+        """
+        removed = 0
+        for object_id, versions in list(self._versions.items()):
+            floor = cut.version_of(object_id)
+            keep = [v for v in versions if v > floor]
+            for version in versions:
+                if version <= floor:
+                    token = Token(object_id, version)
+                    self._descriptors.pop(token, None)
+                    self._persisted.discard(token)
+                    removed += 1
+            self._versions[object_id] = keep
+        return removed
+
+    # -- queries ----------------------------------------------------------
+
+    def __contains__(self, token: Token) -> bool:
+        return token in self._descriptors
+
+    def __len__(self) -> int:
+        return len(self._descriptors)
+
+    def descriptor(self, token: Token) -> CommitDescriptor:
+        return self._descriptors[token]
+
+    def is_persisted(self, token: Token) -> bool:
+        return token in self._persisted
+
+    def objects(self) -> Iterable[str]:
+        return self._versions.keys()
+
+    def committed_versions(self, object_id: str) -> List[int]:
+        return list(self._versions.get(object_id, ()))
+
+    def max_persisted_version(self, object_id: str) -> int:
+        """Largest durable version of an object (cumulative restore point)."""
+        best = NEVER_COMMITTED
+        for version in self._versions.get(object_id, ()):
+            if version > best and Token(object_id, version) in self._persisted:
+                best = version
+        return best
+
+    def _dep_satisfied_at(self, dep: Token, cut: Dict[str, int]) -> bool:
+        return cut.get(dep.object_id, NEVER_COMMITTED) >= dep.version
+
+    # -- cut computation ---------------------------------------------------
+
+    def build_dependency_set(self, start: Token) -> FrozenSet[Token]:
+        """The paper's ``BuildDependencySet``: BFS transitive closure.
+
+        Exploits cumulativeness: reaching token ``X-v`` pulls in every
+        committed token of ``X`` with version ``<= v``.
+        """
+        seen: Set[Token] = set()
+        frontier: List[Token] = [start]
+        while frontier:
+            token = frontier.pop()
+            if token in seen:
+                continue
+            seen.add(token)
+            # Cumulative prefixes: X-v implies X-(anything smaller).
+            for version in self._versions.get(token.object_id, ()):
+                if version < token.version:
+                    lesser = Token(token.object_id, version)
+                    if lesser not in seen:
+                        frontier.append(lesser)
+            descriptor = self._descriptors.get(token)
+            if descriptor is None:
+                continue
+            for dep in descriptor.deps:
+                resolved = self._resolve_dep(dep)
+                if resolved is not None and resolved not in seen:
+                    frontier.append(resolved)
+        return frozenset(seen)
+
+    def _resolve_dep(self, dep: Token) -> Optional[Token]:
+        """Map a dependency onto the smallest committed token covering it."""
+        for version in self._versions.get(dep.object_id, ()):
+            if version >= dep.version:
+                return Token(dep.object_id, version)
+        return None  # dependency version not even committed yet
+
+    def max_closed_cut(self, floor: int = NEVER_COMMITTED) -> DprCut:
+        """The maximal DPR-cut over *persisted* tokens.
+
+        Fixpoint: start each object at its max persisted version; while
+        any token at or below an object's cut position has a dependency
+        the current cut does not satisfy, lower that object's position
+        below the offending token.  Monotonicity bounds the iteration.
+
+        ``floor`` marks a version below which everything is externally
+        known durable and prefix-consistent (the hybrid algorithm passes
+        the approximate finder's ``Vmin`` here after a coordinator crash
+        loses part of the graph, §3.4): dependencies at or below the
+        floor are treated as satisfied, and no object's position drops
+        below it.
+        """
+        cut: Dict[str, int] = {
+            obj: max(self.max_persisted_version(obj), floor)
+            for obj in self._versions
+        }
+        changed = True
+        while changed:
+            changed = False
+            for object_id, versions in self._versions.items():
+                ceiling = cut.get(object_id, NEVER_COMMITTED)
+                for version in versions:
+                    if version > ceiling:
+                        break
+                    if version <= floor:
+                        continue
+                    token = Token(object_id, version)
+                    descriptor = self._descriptors[token]
+                    bad = not self.is_persisted(token) or any(
+                        dep.version > floor
+                        and (
+                            not self._dep_satisfied_at(dep, cut)
+                            or not self._dep_durable(dep)
+                        )
+                        for dep in descriptor.deps
+                    )
+                    if bad:
+                        # Retreat to the largest persisted version below
+                        # the offending token (never below the floor).
+                        new_ceiling = floor
+                        for candidate in versions:
+                            if candidate >= version:
+                                break
+                            if candidate > floor and Token(object_id, candidate) in self._persisted:
+                                new_ceiling = candidate
+                        cut[object_id] = new_ceiling
+                        changed = True
+                        break
+        return DprCut({obj: ver for obj, ver in cut.items() if ver > NEVER_COMMITTED})
+
+    def _dep_durable(self, dep: Token) -> bool:
+        """Whether some persisted token covers the dependency."""
+        return self.max_persisted_version(dep.object_id) >= dep.version

@@ -1,0 +1,99 @@
+"""Rollback orchestration (§4).
+
+The cluster manager detects a failure, assigns the next world-line
+serial, and must bring every StateObject back onto a single consistent
+DPR-cut: the failed shard restarts from its guaranteed checkpoint, and
+every *surviving* shard rolls back uncommitted state that may depend on
+what was lost.  DPR progress (cut advancement) is halted until every
+shard reports completion, then resumes (§4.1).
+
+:class:`RecoveryController` is the pure protocol logic; the simulated
+cluster (:mod:`repro.cluster.manager`) drives it over the network with
+timing and restarts, and the synchronous :meth:`recover` convenience is
+what the unit and property tests use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.cuts import DprCut
+from repro.core.finder.base import DprFinder
+from repro.core.state_object import StateObject
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """What the cluster manager instructs after a failure.
+
+    ``targets`` maps every StateObject to the version it must
+    ``Restore()`` to; ``world_line`` is the serial id naming the
+    post-recovery world-line (§4.2).
+    """
+
+    world_line: int
+    cut: DprCut
+    targets: Mapping[str, int] = field(default_factory=dict)
+
+    def target_for(self, object_id: str) -> int:
+        return self.targets.get(object_id, 0)
+
+
+class RecoveryController:
+    """Tracks in-flight recoveries and gates DPR progress."""
+
+    def __init__(self, finder: DprFinder):
+        self.finder = finder
+        self.world_line = finder.table.read_world_line()
+        self._outstanding: Set[str] = set()
+        #: Completed recoveries, for observability.
+        self.history: List[RecoveryPlan] = []
+
+    @property
+    def in_progress(self) -> bool:
+        return bool(self._outstanding)
+
+    def plan_recovery(self, object_ids: Iterable[str]) -> RecoveryPlan:
+        """Begin recovery: bump the world-line, freeze the cut, plan.
+
+        ``object_ids`` is *all* shards that must participate — in DPR
+        that is every shard, because any of them may hold uncommitted
+        state dependent on the failed one.  Nested failures while a
+        recovery is in flight simply produce a further plan with a
+        larger world-line (§7.4 exercises exactly this).
+        """
+        self.world_line += 1
+        self.finder.table.publish_world_line(self.world_line)
+        self.finder.halted = True
+        cut = self.finder.current_cut()
+        targets = {obj: cut.version_of(obj) for obj in object_ids}
+        plan = RecoveryPlan(world_line=self.world_line, cut=cut, targets=targets)
+        self._outstanding = set(targets)
+        return plan
+
+    def report_restored(self, object_id: str) -> bool:
+        """A shard finished its rollback; returns True when all have."""
+        self._outstanding.discard(object_id)
+        if not self._outstanding and self.finder.halted:
+            self.finder.halted = False
+            return True
+        return False
+
+    # -- synchronous reference path (tests) ------------------------------
+
+    def recover(self, objects: Mapping[str, StateObject],
+                failed: Optional[Iterable[str]] = None) -> RecoveryPlan:
+        """Run a whole recovery synchronously against local objects.
+
+        ``failed`` shards are assumed restarted from durable state by
+        the cluster manager; they restore exactly like survivors (their
+        volatile state is already gone).
+        """
+        plan = self.plan_recovery(objects.keys())
+        for object_id, state_object in objects.items():
+            state_object.restore(plan.target_for(object_id),
+                                 world_line=plan.world_line)
+            self.report_restored(object_id)
+        self.history.append(plan)
+        return plan

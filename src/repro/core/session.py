@@ -1,0 +1,236 @@
+"""Client sessions and SessionOrders (§2, §3.2, §5.4).
+
+A session is a sequential logical thread of operations against the
+sharded cache-store.  It owns the client half of the DPR protocol:
+
+- assigns SessionOrder sequence numbers;
+- carries the ``Vs`` scalar (largest version seen) on every request so
+  StateObjects fast-forward and monotonicity holds (§3.2);
+- attaches dependency tokens for the exact finder (§3.3);
+- tracks each operation's executed version so the committed prefix can
+  be computed against any DPR-cut;
+- under *relaxed* DPR (§5.4) allows multiple PENDING operations in
+  flight, reporting uncovered pending ops as exception-list holes;
+- detects world-line bumps and computes the surviving prefix (§4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cuts import DprCut
+from repro.core.versioning import Token
+from repro.core.worldline import WorldLine
+
+
+class SessionStatus(enum.Enum):
+    ACTIVE = "active"
+    #: A failure was observed; the application must acknowledge the
+    #: surviving prefix (via :meth:`Session.acknowledge_rollback`)
+    #: before issuing more operations.
+    BROKEN = "broken"
+
+
+class RollbackError(RuntimeError):
+    """Raised when a failure cut operations from this session.
+
+    Carries the exact prefix that survived, as the paper promises:
+    "the next call to DPR will return an error with the exact prefix
+    that survived the failure".
+    """
+
+    def __init__(self, session_id: str, survived_seqno: int,
+                 lost: Tuple[int, ...], new_world_line: int):
+        super().__init__(
+            f"session {session_id}: rolled back to seqno {survived_seqno}; "
+            f"lost {len(lost)} operation(s); now on world-line {new_world_line}"
+        )
+        self.session_id = session_id
+        self.survived_seqno = survived_seqno
+        self.lost = lost
+        self.new_world_line = new_world_line
+
+
+@dataclass
+class OpRecord:
+    """One SessionOrder entry."""
+
+    seqno: int
+    object_id: str
+    #: Version the op executed in; None while PENDING.
+    version: Optional[int] = None
+    issued_at: float = 0.0
+    completed_at: Optional[float] = None
+    committed_at: Optional[float] = None
+
+    @property
+    def pending(self) -> bool:
+        return self.version is None
+
+
+@dataclass(frozen=True)
+class RequestHeader:
+    """DPR metadata a session attaches to each outgoing operation."""
+
+    session_id: str
+    seqno: int
+    world_line: int
+    min_version: int
+    deps: Tuple[Token, ...] = ()
+
+
+class Session:
+    """A client session with DPR bookkeeping.
+
+    ``strict=True`` enforces the original CPR ordering: at most one
+    operation in flight.  The default is relaxed DPR (§5.4), where many
+    operations may be PENDING concurrently and the prefix guarantee
+    carries an exception list.
+    """
+
+    def __init__(self, session_id: str, strict: bool = False):
+        self.session_id = session_id
+        self.strict = strict
+        self.world_line = WorldLine()
+        self.status = SessionStatus.ACTIVE
+        #: Largest version number seen (the Lamport-style scalar Vs).
+        self.version_vector = 0
+        self._next_seqno = 1
+        self._ops: Dict[int, OpRecord] = {}
+        self._order: List[int] = []
+        #: Completions observed since the last issue — become the next
+        #: request's dependency set.
+        self._recent: Dict[str, int] = {}
+        #: Largest seqno known committed (monotonic).
+        self.committed_seqno = 0
+        self._committed_exceptions: Tuple[int, ...] = ()
+        #: Seqnos lost to rollbacks over the session's lifetime.
+        self.lost_ops: List[int] = []
+
+    # -- issuing and completing operations ------------------------------
+
+    def issue(self, object_id: str, now: float = 0.0) -> RequestHeader:
+        """Start an operation; returns the header to send with it."""
+        if self.status is SessionStatus.BROKEN:
+            raise RollbackError(
+                self.session_id, self.committed_seqno,
+                tuple(self.lost_ops), self.world_line.current,
+            )
+        if self.strict and self.pending_count() > 0:
+            raise RuntimeError(
+                f"session {self.session_id} is strict: complete the "
+                "in-flight operation before issuing another"
+            )
+        seqno = self._next_seqno
+        self._next_seqno += 1
+        self._ops[seqno] = OpRecord(seqno=seqno, object_id=object_id,
+                                    issued_at=now)
+        self._order.append(seqno)
+        deps = tuple(Token(obj, ver) for obj, ver in self._recent.items())
+        self._recent.clear()
+        return RequestHeader(
+            session_id=self.session_id,
+            seqno=seqno,
+            world_line=self.world_line.current,
+            min_version=self.version_vector,
+            deps=deps,
+        )
+
+    def complete(self, seqno: int, version: int, now: float = 0.0) -> None:
+        """Record that operation ``seqno`` executed in ``version``."""
+        record = self._ops.get(seqno)
+        if record is None:
+            return  # completion for an op lost to a rollback: ignore
+        if not record.pending:
+            raise ValueError(f"op {seqno} already completed")
+        record.version = version
+        record.completed_at = now
+        if version > self.version_vector:
+            self.version_vector = version
+        existing = self._recent.get(record.object_id, 0)
+        if version > existing:
+            self._recent[record.object_id] = version
+
+    def pending_count(self) -> int:
+        return sum(1 for r in self._ops.values() if r.pending)
+
+    def pending_seqnos(self) -> List[int]:
+        return sorted(s for s, r in self._ops.items() if r.pending)
+
+    def op(self, seqno: int) -> OpRecord:
+        return self._ops[seqno]
+
+    def ops_in_order(self) -> List[OpRecord]:
+        return [self._ops[s] for s in self._order if s in self._ops]
+
+    @property
+    def last_issued_seqno(self) -> int:
+        return self._next_seqno - 1
+
+    # -- commit tracking -------------------------------------------------
+
+    def refresh_commit(self, cut: DprCut, now: float = 0.0) -> int:
+        """Fold a new DPR-cut into the session's committed watermark.
+
+        Returns the new watermark.  Under relaxed DPR, PENDING ops do not
+        gate the watermark but are recorded in the exception list until
+        they resolve (§5.4).
+        """
+        watermark = self.committed_seqno
+        holes: List[int] = list(self._committed_exceptions)
+        for record in self.ops_in_order():
+            if record.seqno <= watermark:
+                continue
+            if record.pending:
+                holes.append(record.seqno)
+                continue
+            if record.version <= cut.version_of(record.object_id):
+                watermark = record.seqno
+                if record.committed_at is None:
+                    record.committed_at = now
+            else:
+                break
+        self.committed_seqno = watermark
+        self._committed_exceptions = tuple(
+            h for h in holes if h < watermark and self._ops.get(h) is not None
+            and self._ops[h].pending
+        )
+        return watermark
+
+    @property
+    def committed_exceptions(self) -> Tuple[int, ...]:
+        """Seqnos below the watermark excluded from the guarantee (§5.4)."""
+        return self._committed_exceptions
+
+    # -- failure handling --------------------------------------------------
+
+    def observe_failure(self, new_world_line: int, cut: DprCut) -> RollbackError:
+        """Handle a world-line bump: compute the surviving prefix.
+
+        Everything covered by ``cut`` survives; later ops (and all
+        PENDING ops) are lost.  The session moves to the new world-line
+        and BROKEN status; :meth:`acknowledge_rollback` re-activates it.
+        """
+        self.world_line.advance_to(new_world_line)
+        survived = self.refresh_commit(cut)
+        lost = []
+        for record in self.ops_in_order():
+            if record.seqno > survived or record.seqno in self._committed_exceptions:
+                lost.append(record.seqno)
+        for seqno in lost:
+            del self._ops[seqno]
+        self.lost_ops.extend(lost)
+        self._recent = {
+            obj: min(ver, cut.version_of(obj))
+            for obj, ver in self._recent.items()
+            if cut.version_of(obj) > 0
+        }
+        self.status = SessionStatus.BROKEN
+        return RollbackError(self.session_id, survived, tuple(lost),
+                             self.world_line.current)
+
+    def acknowledge_rollback(self) -> None:
+        """Application acknowledges the surviving prefix; resume issuing."""
+        self.status = SessionStatus.ACTIVE

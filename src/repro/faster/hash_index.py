@@ -1,0 +1,65 @@
+"""FASTER's hash index, with collision chaining through the log.
+
+The index maps a hash bucket to the *logical address* of the newest
+record whose key hashes to that bucket.  Records chain backwards via
+``previous_address`` — the chain interleaves different keys (hash
+collisions) and older versions of the same key, exactly the structure
+§5.5 exploits for non-blocking rollback: all non-garbage-collected
+versions of a key remain reachable by walking the chain.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator
+
+from repro.faster.record import NULL_ADDRESS
+
+
+class HashIndex:
+    """Bucketed hash table from key-hash to newest-record address."""
+
+    def __init__(self, bucket_count: int = 1 << 16):
+        if bucket_count < 1:
+            raise ValueError("need at least one bucket")
+        self._bucket_count = bucket_count
+        self._buckets: Dict[int, int] = {}
+
+    @property
+    def bucket_count(self) -> int:
+        return self._bucket_count
+
+    def bucket_of(self, key: Any) -> int:
+        return hash(key) % self._bucket_count
+
+    def head_address(self, key: Any) -> int:
+        """Address of the newest record in ``key``'s bucket chain."""
+        return self._buckets.get(self.bucket_of(key), NULL_ADDRESS)
+
+    def publish(self, key: Any, address: int) -> int:
+        """Point the bucket at a freshly appended record.
+
+        Returns the previous head address — the appender stores it as
+        the new record's ``previous_address`` (this mirrors FASTER's
+        compare-and-swap on the bucket entry).
+        """
+        bucket = self.bucket_of(key)
+        previous = self._buckets.get(bucket, NULL_ADDRESS)
+        self._buckets[bucket] = address
+        return previous
+
+    def reset_bucket(self, key: Any, address: int) -> None:
+        """Rewind a bucket head (used by log-truncating recovery)."""
+        bucket = self.bucket_of(key)
+        if address == NULL_ADDRESS:
+            self._buckets.pop(bucket, None)
+        else:
+            self._buckets[bucket] = address
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+    def buckets(self) -> Iterator[int]:
+        return iter(self._buckets.values())
+
+    def __len__(self) -> int:
+        return len(self._buckets)

@@ -1,0 +1,40 @@
+"""HybridLog record format.
+
+Each record carries the CPR *version stamp* of the operation that wrote
+it, the back-pointer forming the per-bucket hash chain, and the flags
+the non-blocking machinery needs: a tombstone bit for deletes and an
+invalid bit set by the PURGE phase of rollbacks (§5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Logical address meaning "end of chain".
+NULL_ADDRESS = -1
+
+
+@dataclass
+class Record:
+    """One entry on the HybridLog."""
+
+    key: Any
+    value: Any
+    #: CPR version the writing operation executed in.
+    version: int
+    #: Previous record in this hash bucket's chain (collision or older
+    #: version of the same key).
+    previous_address: int = NULL_ADDRESS
+    tombstone: bool = False
+    #: Set during PURGE for records in a rolled-back version range;
+    #: readers skip invalid records when traversing chains.
+    invalid: bool = False
+
+    #: Nominal serialized size, used by flush-size accounting.  The
+    #: paper's YCSB records are 8-byte keys and values; header overhead
+    #: brings a record to roughly this size.
+    SERIALIZED_BYTES = 64
+
+    def matches(self, key: Any) -> bool:
+        return not self.invalid and self.key == key

@@ -1,0 +1,170 @@
+"""FASTER sessions: serial numbers, PENDING ops, strict vs relaxed CPR (§5.4).
+
+A session is a sequential logical thread of execution against one
+FasterKV.  Operations get monotonically increasing serial numbers (the
+operation *begin time* that CPR's strict prefix guarantee is defined
+over).  Operations touching records below the in-memory head go
+PENDING; under relaxed CPR the session keeps issuing and resolves them
+later as a group via :meth:`FasterSession.complete_pending` — later
+operations do not depend on unresolved PENDING ones, and recovered
+prefixes may carve them out via an exception list.  Under strict CPR a
+PENDING operation must resolve before the next operation may begin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.faster.store import FasterKV, OpOutcome, OpStatus
+
+
+@dataclass
+class PendingOp:
+    """An operation parked on simulated storage I/O."""
+
+    serial: int
+    kind: str
+    key: Any
+    address: int
+    update: Optional[Callable[[Any], Any]] = None
+    initial: Any = None
+
+
+@dataclass
+class CompletedOp:
+    """A finished operation with its CPR version stamp."""
+
+    serial: int
+    kind: str
+    key: Any
+    status: str
+    value: Any
+    version: int
+
+
+class FasterSession:
+    """One client session on a FasterKV instance."""
+
+    def __init__(self, kv: FasterKV, session_id: str,
+                 thread_id: Optional[str] = None, strict: bool = False):
+        self.kv = kv
+        self.session_id = session_id
+        self.thread_id = thread_id or FasterKV.DEFAULT_THREAD
+        self.kv.register_thread(self.thread_id)
+        self.strict = strict
+        self._next_serial = 1
+        self._pending: Dict[int, PendingOp] = {}
+        self._completed: List[CompletedOp] = []
+
+    # -- issuing -----------------------------------------------------------
+
+    def _begin(self) -> int:
+        if self.strict and self._pending:
+            raise RuntimeError(
+                f"session {self.session_id} is strict CPR: resolve pending "
+                "operations before issuing new ones (§5.4)"
+            )
+        serial = self._next_serial
+        self._next_serial += 1
+        return serial
+
+    def _finish(self, serial: int, kind: str, key: Any,
+                outcome: OpOutcome) -> CompletedOp:
+        done = CompletedOp(serial=serial, kind=kind, key=key,
+                           status=outcome.status, value=outcome.value,
+                           version=outcome.version)
+        self._completed.append(done)
+        return done
+
+    def read(self, key: Any) -> CompletedOp:
+        serial = self._begin()
+        outcome = self.kv.read(key, thread_id=self.thread_id)
+        if outcome.status == OpStatus.PENDING:
+            self._pending[serial] = PendingOp(
+                serial=serial, kind="read", key=key,
+                address=outcome.pending_address,
+            )
+            return CompletedOp(serial=serial, kind="read", key=key,
+                               status=OpStatus.PENDING, value=None,
+                               version=outcome.version)
+        return self._finish(serial, "read", key, outcome)
+
+    def upsert(self, key: Any, value: Any) -> CompletedOp:
+        serial = self._begin()
+        outcome = self.kv.upsert(key, value, thread_id=self.thread_id)
+        return self._finish(serial, "upsert", key, outcome)
+
+    def rmw(self, key: Any, update: Callable[[Any], Any],
+            initial: Any = None) -> CompletedOp:
+        serial = self._begin()
+        outcome = self.kv.rmw(key, update, initial=initial,
+                              thread_id=self.thread_id)
+        if outcome.status == OpStatus.PENDING:
+            self._pending[serial] = PendingOp(
+                serial=serial, kind="rmw", key=key,
+                address=outcome.pending_address, update=update,
+                initial=initial,
+            )
+            return CompletedOp(serial=serial, kind="rmw", key=key,
+                               status=OpStatus.PENDING, value=None,
+                               version=outcome.version)
+        return self._finish(serial, "rmw", key, outcome)
+
+    def delete(self, key: Any) -> CompletedOp:
+        serial = self._begin()
+        outcome = self.kv.delete(key, thread_id=self.thread_id)
+        return self._finish(serial, "delete", key, outcome)
+
+    # -- pending resolution (§5.4) ------------------------------------------
+
+    def pending_serials(self) -> List[int]:
+        return sorted(self._pending)
+
+    def complete_pending(self) -> List[CompletedOp]:
+        """Resolve all PENDING operations (``CompletePending()``).
+
+        In a real deployment this waits for storage I/O; the simulated
+        cluster inserts that latency around this call.  Resolution
+        re-executes against the (now in-memory) record, honouring
+        rollback filtering — a pending op whose record was purged comes
+        back NOT_FOUND rather than resurrecting rolled-back state.
+        """
+        resolved: List[CompletedOp] = []
+        for serial in sorted(self._pending):
+            pending = self._pending.pop(serial)
+            if pending.kind == "read":
+                outcome = self.kv.resolve_pending_read(
+                    pending.key, pending.address, thread_id=self.thread_id
+                )
+            else:
+                # RMW resumption: the I/O returned the cold record; apply
+                # the update against it and append the result at the tail
+                # (FASTER copies I/O'd records up before updating).
+                read = self.kv.resolve_pending_read(
+                    pending.key, pending.address, thread_id=self.thread_id
+                )
+                base = (read.value if read.status == OpStatus.OK
+                        else pending.initial)
+                value = pending.update(base)
+                outcome = self.kv.upsert(pending.key, value,
+                                         thread_id=self.thread_id)
+                outcome = OpOutcome(status=outcome.status, value=value,
+                                    version=outcome.version)
+            resolved.append(self._finish(serial, pending.kind, pending.key,
+                                         outcome))
+        return resolved
+
+    # -- introspection ---------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Participate in the epoch protocol (call periodically)."""
+        self.kv.refresh(self.thread_id)
+
+    def completed_ops(self) -> List[CompletedOp]:
+        return list(self._completed)
+
+    def ops_at_or_below_version(self, version: int) -> List[int]:
+        """Serials whose effects a checkpoint of ``version`` captures."""
+        return [op.serial for op in self._completed
+                if op.version <= version and op.status == OpStatus.OK]

@@ -1,0 +1,30 @@
+"""A Kafka-style partitioned persistent log as a cache-store (§2, §3).
+
+The paper names logging systems as the third cache-store class (with
+key-value stores and caches): "a simple write-ahead or operation log
+with periodic group commit may also be viewed as a StateObject
+implementation" (§3).  Example 2 (serverless workflows) is built on
+exactly this: operators enqueue to and dequeue from log shards, and DPR
+lets a downstream operator consume *uncommitted* enqueues while commits
+arrive lazily.
+
+This package provides:
+
+- :class:`~repro.logstore.log.PartitionedLog` — append-only records
+  with offsets, per-partition ordering, consumer-group cursors, and
+  group-commit durability (a durable frontier per partition);
+- :class:`~repro.logstore.state_object.LogStateObject` — the DPR
+  adapter: versions stamp appends, ``Restore()`` truncates each
+  partition back to the restored version's frontier and rewinds
+  consumer cursors that ran ahead of it.
+"""
+
+from repro.logstore.log import ConsumerGroup, LogRecord, PartitionedLog
+from repro.logstore.state_object import LogStateObject
+
+__all__ = [
+    "ConsumerGroup",
+    "LogRecord",
+    "LogStateObject",
+    "PartitionedLog",
+]

@@ -1,0 +1,161 @@
+"""A partitioned, append-only log with consumer groups.
+
+Semantics follow the Kafka subset DPR needs:
+
+- records append to a named partition and receive a dense offset;
+- consumers read through *consumer groups*, each holding one cursor per
+  partition; reads advance the cursor (at-least-once on rewind);
+- durability is a per-partition *durable frontier*: a group commit
+  flushes everything below the current tail (periodically in real
+  deployments — explicitly here, so DPR can trigger it as ``Commit()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One log entry."""
+
+    partition: str
+    offset: int
+    payload: Any
+    #: DPR version stamp of the append (0 outside DPR).
+    version: int = 0
+
+
+class ConsumerGroup:
+    """Per-partition read cursors shared by a group of consumers."""
+
+    def __init__(self, group_id: str):
+        self.group_id = group_id
+        self._cursors: Dict[str, int] = {}
+
+    def position(self, partition: str) -> int:
+        return self._cursors.get(partition, 0)
+
+    def advance(self, partition: str, to_offset: int) -> None:
+        if to_offset > self.position(partition):
+            self._cursors[partition] = to_offset
+
+    def rewind(self, partition: str, to_offset: int) -> None:
+        """Move backwards (recovery: re-deliver rolled-back reads)."""
+        if to_offset < self.position(partition):
+            self._cursors[partition] = to_offset
+
+    def reset(self, positions: Dict[str, int]) -> None:
+        """Force all cursors to a recovered snapshot (absent = 0)."""
+        for partition in list(self._cursors):
+            self._cursors[partition] = positions.get(partition, 0)
+        for partition, offset in positions.items():
+            self._cursors[partition] = offset
+
+    def positions(self) -> Dict[str, int]:
+        return dict(self._cursors)
+
+
+class PartitionedLog:
+    """The broker: partitions, appends, reads, group commit."""
+
+    def __init__(self):
+        self._partitions: Dict[str, List[LogRecord]] = {}
+        #: Offsets below this are durable, per partition.
+        self._durable: Dict[str, int] = {}
+        self._groups: Dict[str, ConsumerGroup] = {}
+
+    # -- partitions -------------------------------------------------------
+
+    def create_partition(self, partition: str) -> None:
+        self._partitions.setdefault(partition, [])
+        self._durable.setdefault(partition, 0)
+
+    def partitions(self) -> List[str]:
+        return list(self._partitions)
+
+    def end_offset(self, partition: str) -> int:
+        """The next offset to be assigned (== partition length)."""
+        return len(self._partitions.get(partition, ()))
+
+    def durable_offset(self, partition: str) -> int:
+        return self._durable.get(partition, 0)
+
+    # -- producing -----------------------------------------------------------
+
+    def append(self, partition: str, payload: Any,
+               version: int = 0) -> LogRecord:
+        self.create_partition(partition)
+        records = self._partitions[partition]
+        record = LogRecord(partition=partition, offset=len(records),
+                           payload=payload, version=version)
+        records.append(record)
+        return record
+
+    # -- consuming --------------------------------------------------------------
+
+    def group(self, group_id: str) -> ConsumerGroup:
+        if group_id not in self._groups:
+            self._groups[group_id] = ConsumerGroup(group_id)
+        return self._groups[group_id]
+
+    def poll(self, group_id: str, partition: str,
+             max_records: int = 1) -> List[LogRecord]:
+        """Read (and advance past) up to ``max_records`` entries.
+
+        Uncommitted records are served — that is the whole point of DPR
+        over a log: dequeues need not wait for enqueue commits.
+        """
+        group = self.group(group_id)
+        start = group.position(partition)
+        records = self._partitions.get(partition, [])[
+            start:start + max_records]
+        if records:
+            group.advance(partition, records[-1].offset + 1)
+        return list(records)
+
+    def peek(self, partition: str, offset: int) -> Optional[LogRecord]:
+        records = self._partitions.get(partition, [])
+        if 0 <= offset < len(records):
+            return records[offset]
+        return None
+
+    # -- durability ------------------------------------------------------------------
+
+    def group_commit(self) -> Dict[str, int]:
+        """Flush every partition to its tail; returns the new frontiers."""
+        for partition, records in self._partitions.items():
+            self._durable[partition] = len(records)
+        return dict(self._durable)
+
+    def unflushed_records(self) -> int:
+        return sum(
+            len(records) - self._durable.get(partition, 0)
+            for partition, records in self._partitions.items()
+        )
+
+    # -- recovery ----------------------------------------------------------------------
+
+    def truncate_to(self, frontiers: Dict[str, int]) -> int:
+        """Crash semantics: drop records above each durable frontier.
+
+        Consumer cursors that ran ahead of a truncation point rewind to
+        it, so re-delivery after recovery starts exactly at the first
+        lost record.  Returns the number of records dropped.
+        """
+        dropped = 0
+        for partition, records in self._partitions.items():
+            frontier = frontiers.get(partition, 0)
+            dropped += max(0, len(records) - frontier)
+            del records[frontier:]
+            self._durable[partition] = min(
+                self._durable.get(partition, 0), frontier)
+            for group in self._groups.values():
+                group.rewind(partition, frontier)
+        return dropped
+
+    def scan(self, partition: str,
+             from_offset: int = 0) -> Iterator[LogRecord]:
+        for record in self._partitions.get(partition, [])[from_offset:]:
+            yield record

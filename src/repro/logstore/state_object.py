@@ -1,0 +1,104 @@
+"""The partitioned log as a DPR StateObject.
+
+Operations are tuples:
+
+- ``("append", partition, payload)``  -> offset
+- ``("poll", group_id, partition)``    -> payload or None (advances the
+  group cursor — a *dequeue* in the paper's Example 2 terminology)
+- ``("peek", partition, offset)``      -> payload or None (no cursor)
+- ``("end_offset", partition)``        -> next offset
+- ``("positions", group_id)``          -> cursor map
+
+``Commit()`` is the log's group commit: a seal snapshots each
+partition's tail as that version's durable frontier.  ``Restore()``
+truncates partitions back to the restored version's frontiers and
+rewinds consumer cursors — so a dequeue of a rolled-back enqueue is
+re-delivered rather than lost, which is exactly the prefix-consistent
+behaviour serverless workflows need.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.core.state_object import StateObject
+from repro.logstore.log import PartitionedLog
+
+
+class LogStateObject(StateObject):
+    """One log broker shard under DPR."""
+
+    RECORD_BYTES = 128
+
+    def __init__(self, object_id: str, **kwargs):
+        super().__init__(object_id, **kwargs)
+        self.log = PartitionedLog()
+        #: version -> {partition: durable frontier at seal time}.
+        self._frontiers: Dict[int, Dict[str, int]] = {}
+        #: version -> consumer positions at seal time (cursors are part
+        #: of recoverable state: a committed dequeue must not re-deliver).
+        self._cursors: Dict[int, Dict[str, Dict[str, int]]] = {}
+
+    # -- operations --------------------------------------------------------
+
+    def apply(self, op: Tuple) -> Any:
+        kind = op[0]
+        if kind == "append" or kind == "enqueue":
+            record = self.log.append(op[1], op[2], version=self.version)
+            return record.offset
+        if kind == "poll" or kind == "dequeue":
+            records = self.log.poll(op[1], op[2], max_records=1)
+            return records[0].payload if records else None
+        if kind == "peek":
+            record = self.log.peek(op[1], op[2])
+            return record.payload if record else None
+        if kind == "end_offset":
+            return self.log.end_offset(op[1])
+        if kind == "positions":
+            return self.log.group(op[1]).positions()
+        raise ValueError(f"unknown op {kind!r}")
+
+    # -- Commit()/Restore() hooks ----------------------------------------------
+
+    def snapshot(self, version: int) -> None:
+        self._frontiers[version] = self.log.group_commit()
+        self._cursors[version] = {
+            group_id: group.positions()
+            for group_id, group in self.log._groups.items()
+        }
+
+    def checkpoint_bytes(self, version: int) -> int:
+        frontiers = self._frontiers.get(version, {})
+        earlier = [v for v in self._frontiers if v < version]
+        base = self._frontiers[max(earlier)] if earlier else {}
+        delta = sum(
+            frontier - base.get(partition, 0)
+            for partition, frontier in frontiers.items()
+        )
+        return max(1, delta) * self.RECORD_BYTES
+
+    def rollback_to(self, version: int) -> None:
+        candidates = [v for v in self._frontiers if v <= version]
+        if candidates:
+            target = max(candidates)
+            self.log.truncate_to(self._frontiers[target])
+            snapshot = self._cursors.get(target, {})
+        else:
+            self.log.truncate_to({p: 0 for p in self.log.partitions()})
+            snapshot = {}
+        # Every cursor — including groups created after the restored
+        # version — resets to its snapshot position (absent = 0): an
+        # uncommitted dequeue rolls back and re-delivers.
+        for group_id, group in self.log._groups.items():
+            group.reset(snapshot.get(group_id, {}))
+        for stale in [v for v in self._frontiers if v > version]:
+            del self._frontiers[stale]
+            self._cursors.pop(stale, None)
+
+    # -- conveniences ---------------------------------------------------------------
+
+    def enqueue(self, partition: str, payload: Any) -> int:
+        return self.execute(("append", partition, payload)).value
+
+    def dequeue(self, group_id: str, partition: str) -> Any:
+        return self.execute(("poll", group_id, partition)).value

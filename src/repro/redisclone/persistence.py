@@ -1,0 +1,131 @@
+"""Snapshot (RDB-style) and append-only-file persistence.
+
+``BGSAVE`` forks in real Redis; here :meth:`SnapshotStore.bgsave` takes
+the copy synchronously (the fork's copy-on-write moment) and the
+*durability* of that copy completes later — the server exposes
+``LASTSAVE`` so pollers can detect completion, exactly how the D-Redis
+wrapper decides when a ``Commit()`` has finished (§6).
+
+The AOF implements the three classic fsync policies; ``ALWAYS`` is what
+the Figure 19 "Sync" configuration turns on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class AofPolicy(enum.Enum):
+    """``appendfsync`` settings."""
+
+    NO = "no"          # kernel decides; counts as eventual durability
+    EVERYSEC = "everysec"
+    ALWAYS = "always"  # fsync before acking: synchronous recoverability
+
+
+@dataclass
+class Snapshot:
+    """One completed or in-flight RDB snapshot."""
+
+    snapshot_id: int
+    image: Dict[str, Any]
+    started_at: float
+    completed_at: Optional[float] = None
+    #: Estimated on-disk size, for the storage-latency model.
+    size_bytes: int = 0
+
+    @property
+    def durable(self) -> bool:
+        return self.completed_at is not None
+
+
+class SnapshotStore:
+    """Holds RDB snapshots and the LASTSAVE bookkeeping."""
+
+    #: Nominal per-key size for flush modelling.
+    KEY_BYTES = 64
+
+    def __init__(self):
+        self._snapshots: List[Snapshot] = []
+        self._next_id = 1
+
+    def bgsave(self, image: Dict[str, Any], now: float) -> Snapshot:
+        """Begin a background save of a state image (the 'fork moment')."""
+        snapshot = Snapshot(
+            snapshot_id=self._next_id,
+            image=image,
+            started_at=now,
+            size_bytes=max(1, len(image["values"])) * self.KEY_BYTES,
+        )
+        self._next_id += 1
+        self._snapshots.append(snapshot)
+        return snapshot
+
+    def complete(self, snapshot: Snapshot, now: float) -> None:
+        snapshot.completed_at = now
+
+    def lastsave(self) -> float:
+        """Completion time of the newest durable snapshot (0 if none)."""
+        durable = [s for s in self._snapshots if s.durable]
+        if not durable:
+            return 0.0
+        return max(s.completed_at for s in durable)
+
+    def latest_durable(self) -> Optional[Snapshot]:
+        durable = [s for s in self._snapshots if s.durable]
+        return durable[-1] if durable else None
+
+    def durable_snapshots(self) -> List[Snapshot]:
+        return [s for s in self._snapshots if s.durable]
+
+    def drop_after(self, snapshot_id: int) -> None:
+        """Discard snapshots newer than ``snapshot_id`` (rollback)."""
+        self._snapshots = [
+            s for s in self._snapshots if s.snapshot_id <= snapshot_id
+        ]
+
+
+class AppendOnlyFile:
+    """The AOF: a durable command log with fsync policies.
+
+    ``append`` records a mutating command; whether it is durable
+    immediately depends on the policy.  ``fsync`` (driven by the server
+    clock under EVERYSEC, or per-command under ALWAYS) advances the
+    durable frontier.
+    """
+
+    def __init__(self, policy: AofPolicy = AofPolicy.NO):
+        self.policy = policy
+        self._entries: List[Tuple] = []
+        self._durable_count = 0
+        self.fsyncs = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def durable_count(self) -> int:
+        return self._durable_count
+
+    def append(self, command: Sequence) -> None:
+        self._entries.append(tuple(command))
+        if self.policy is AofPolicy.ALWAYS:
+            self.fsync()
+
+    def fsync(self) -> None:
+        self._durable_count = len(self._entries)
+        self.fsyncs += 1
+
+    def durable_entries(self) -> List[Tuple]:
+        return list(self._entries[: self._durable_count])
+
+    def truncate_to_durable(self) -> None:
+        """Crash semantics: unsynced suffix is lost."""
+        del self._entries[self._durable_count:]
+
+    def rewrite(self, keep_from: int = 0) -> None:
+        """AOF rewrite after a snapshot subsumes a prefix."""
+        self._entries = self._entries[keep_from:]
+        self._durable_count = max(0, self._durable_count - keep_from)

@@ -1,0 +1,321 @@
+"""A small deterministic discrete-event simulation kernel.
+
+The kernel follows the familiar generator-based process model (as
+popularised by SimPy): a *process* is a Python generator that yields
+:class:`Event` objects and is resumed when those events fire.  Simulated
+time only advances between events, so a multi-second distributed experiment
+runs in milliseconds of wall-clock time and is exactly reproducible.
+
+Only the features the reproduction needs are implemented: one-shot events,
+timeouts, process-join, ``AllOf``/``AnyOf`` combinators and interrupts.
+Ties in the event heap are broken by insertion order, which makes every
+run deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the kernel (e.g. running a finished env)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event starts *pending*; it fires at most once via :meth:`succeed`
+    or :meth:`fail`.  Processes waiting on it are scheduled to resume at
+    the simulation time of the trigger.
+    """
+
+    __slots__ = ("env", "_value", "_ok", "_triggered", "_callbacks", "_name")
+
+    def __init__(self, env: "Environment", name: str = ""):
+        self.env = env
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self._name = name
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("event has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event has not been triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event successfully, delivering ``value`` to waiters."""
+        if self._triggered:
+            raise SimulationError(f"event {self._name!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule_trigger(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Fire the event as a failure; waiters see ``exception`` raised."""
+        if self._triggered:
+            raise SimulationError(f"event {self._name!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule_trigger(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run when the event fires.
+
+        If the event has fired already the callback runs immediately.
+        """
+        if self._triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<Event {self._name!r} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env, name=f"timeout({delay})")
+        self.delay = delay
+        # The trigger is deferred: the environment marks the timeout as
+        # triggered when it pops it from the heap at ``now + delay``.
+        self._ok = True
+        self._value = value
+        env._schedule_at(env.now + delay, self)
+
+
+class AllOf(Event):
+    """Fires once every child event has fired successfully.
+
+    The value is the list of child values, in the order given.  If any
+    child fails, this event fails with that child's exception.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, name="all_of")
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self._triggered:
+            return
+        if not child._ok:
+            self.fail(child._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c._value for c in self._children])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is ``(index, value)``."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, name="any_of")
+        self._children = list(events)
+        if not self._children:
+            raise ValueError("AnyOf requires at least one event")
+        for index, child in enumerate(self._children):
+            child.add_callback(lambda c, i=index: self._on_child(i, c))
+
+    def _on_child(self, index: int, child: Event) -> None:
+        if self._triggered:
+            return
+        if child._ok:
+            self.succeed((index, child._value))
+        else:
+            self.fail(child._value)
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running simulation process.
+
+    A process wraps a generator; each yielded :class:`Event` suspends the
+    process until the event fires.  The process itself is an event that
+    fires with the generator's return value, so other processes can join
+    on it by yielding it.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "_interrupts")
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator, name: str = ""):
+        super().__init__(env, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._interrupts: List[Interrupt] = []
+        # Kick the process off at the current simulation time.
+        start = Event(env, name=f"start:{self._name}")
+        start.add_callback(self._resume)
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op, mirroring SimPy.
+        """
+        if self._triggered:
+            return
+        self._interrupts.append(Interrupt(cause))
+        waiting = self._waiting_on
+        if waiting is not None:
+            self._waiting_on = None
+            # Detach: when the original event fires later, ignore it.
+            poke = Event(self.env, name=f"interrupt:{self._name}")
+            poke.add_callback(self._resume)
+            poke.succeed()
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        try:
+            if self._interrupts:
+                interrupt = self._interrupts.pop(0)
+                target = self._generator.throw(interrupt)
+            elif event._ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into joiners
+            if self.env.strict:
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self._name!r} yielded {target!r}, expected an Event"
+            )
+        self._waiting_on = target
+        target.add_callback(self._guarded_resume)
+
+    def _guarded_resume(self, event: Event) -> None:
+        # Only resume if we are still waiting on this event (we may have
+        # been interrupted and re-armed in the meantime).
+        if self._waiting_on is event:
+            self._resume(event)
+
+
+class Environment:
+    """Event loop holding the simulation clock and the pending-event heap."""
+
+    def __init__(self, strict: bool = True):
+        self._now: float = 0.0
+        self._heap: List[tuple] = []
+        self._sequence = 0
+        self._running = False
+        #: When True, exceptions escaping a process abort the simulation
+        #: instead of being stored as the process's failure value.
+        self.strict = strict
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    # -- scheduling ---------------------------------------------------
+
+    def _schedule_at(self, when: float, event: Event) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (when, self._sequence, event))
+
+    def _schedule_trigger(self, event: Event) -> None:
+        """Schedule callbacks of an already-triggered event at time now."""
+        self._schedule_at(self._now, event)
+
+    # -- public API ---------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or simulated time reaches ``until``."""
+        if self._running:
+            raise SimulationError("environment is already running")
+        self._running = True
+        try:
+            while self._heap:
+                when, _seq, event = self._heap[0]
+                if until is not None and when > until:
+                    self._now = until
+                    return
+                heapq.heappop(self._heap)
+                self._now = when
+                if not event._triggered:
+                    # Deferred triggers (timeouts) fire when popped.
+                    event._triggered = True
+                callbacks, event._callbacks = event._callbacks, []
+                for callback in callbacks:
+                    callback(event)
+            if until is not None:
+                self._now = until
+        finally:
+            self._running = False
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,78 @@
+"""Unbounded FIFO queues for inter-process communication.
+
+A :class:`Queue` is the kernel's channel primitive: producers call
+:meth:`Queue.put` (which never blocks), and consumers yield the event
+returned by :meth:`Queue.get`.  Items are delivered in FIFO order to
+getters in FIFO order, which keeps simulations deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from repro.sim.kernel import Environment, Event
+
+
+class QueueClosed(Exception):
+    """Raised into getters when a queue is closed with no items left."""
+
+
+class Queue:
+    """An unbounded deterministic FIFO channel."""
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``; wakes the oldest waiting getter, if any."""
+        if self._closed:
+            raise QueueClosed(f"queue {self.name!r} is closed")
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        event = self.env.event(name=f"get:{self.name}")
+        if self._items:
+            event.succeed(self._items.popleft())
+        elif self._closed:
+            event.fail(QueueClosed(f"queue {self.name!r} is closed"))
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns the item or None if empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def drain(self) -> List[Any]:
+        """Remove and return all queued items without blocking."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def close(self) -> None:
+        """Close the queue; pending and future getters fail."""
+        if self._closed:
+            return
+        self._closed = True
+        while self._getters:
+            getter = self._getters.popleft()
+            getter.fail(QueueClosed(f"queue {self.name!r} is closed"))

@@ -1,0 +1,23 @@
+"""Workload generators: YCSB mixes with uniform and Zipfian skew."""
+
+from repro.workloads.ycsb import (
+    Distribution,
+    WorkloadSpec,
+    YCSB_A,
+    YCSB_A_ZIPFIAN,
+    YCSB_B,
+    YCSB_C,
+    ycsb,
+)
+from repro.workloads.zipfian import ZipfianGenerator
+
+__all__ = [
+    "Distribution",
+    "WorkloadSpec",
+    "YCSB_A",
+    "YCSB_A_ZIPFIAN",
+    "YCSB_B",
+    "YCSB_C",
+    "ZipfianGenerator",
+    "ycsb",
+]

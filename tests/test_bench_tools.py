@@ -1,0 +1,110 @@
+"""Tests for the benchmark tooling: report rendering, harness, CLI."""
+
+import pytest
+
+from repro.bench.figures import FIGURES, generate
+from repro.bench.harness import run_dfaster_experiment, run_dredis_experiment
+from repro.bench.report import format_latency_histogram, format_table
+from repro.cluster.dredis import RedisMode
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(
+            [{"a": 1, "b": 2.5}, {"a": 10, "b": None}],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "N/A" in text
+        assert "2.50" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="T")
+
+    def test_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_alignment(self):
+        text = format_table([{"col": 1}, {"col": 1000}])
+        body = text.splitlines()[2:]
+        assert body[0].endswith("1")
+        assert body[1].endswith("1000")
+
+
+class TestHistogram:
+    def test_bins_and_counts(self):
+        text = format_latency_histogram([1.0, 1.1, 5.0, 9.9], "H", bins=3)
+        assert text.startswith("H")
+        assert text.count("|") == 3
+        assert "2" in text  # the two low samples share a bin
+
+    def test_empty(self):
+        assert "(no samples)" in format_latency_histogram([], "H")
+
+    def test_single_value(self):
+        text = format_latency_histogram([3.0, 3.0], "H", bins=2)
+        assert "2" in text
+
+
+class TestHarness:
+    def test_dfaster_result_fields(self):
+        result = run_dfaster_experiment(
+            "t", duration=0.15, warmup=0.05,
+            n_workers=2, vcpus=2, n_client_machines=1,
+            client_threads=1, batch_size=64,
+        )
+        assert result.throughput_mops > 0
+        assert result.operation_latency["p50"] > 0
+        row = result.row()
+        assert set(row) >= {"label", "tput_mops", "op_p50_ms"}
+
+    def test_dredis_result_fields(self):
+        result = run_dredis_experiment(
+            "t", duration=0.15, warmup=0.05,
+            n_shards=2, mode=RedisMode.PLAIN, batch_size=64,
+            n_client_machines=1, client_threads=1,
+        )
+        assert result.throughput_mops > 0
+
+    def test_failures_injected(self):
+        result = run_dfaster_experiment(
+            "t", duration=0.4, warmup=0.05,
+            n_workers=2, vcpus=2, n_client_machines=1,
+            client_threads=1, batch_size=64,
+            checkpoint_interval=0.05,
+            failures=(0.2,),
+        )
+        assert result.stats.aborted.total() > 0
+
+
+class TestFiguresModule:
+    def test_registry_covers_all_figures(self):
+        assert set(FIGURES) == {f"fig{n}" for n in range(10, 20)}
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            generate("fig99")
+
+    def test_generate_small_figure(self):
+        # fig18 is the cheapest figure; a scaled-down run keeps this fast.
+        text = generate("fig18", scale=0.5)
+        assert "Figure 18" in text
+        assert "d-redis" in text
+
+
+class TestCli:
+    def test_main_runs(self, capsys, tmp_path):
+        from repro.bench.__main__ import main
+        output = tmp_path / "out.txt"
+        code = main(["fig18", "--scale", "0.5", "-o", str(output)])
+        assert code == 0
+        assert "Figure 18" in capsys.readouterr().out
+        assert "Figure 18" in output.read_text()
+
+    def test_cli_rejects_unknown(self):
+        from repro.bench.__main__ import main
+        with pytest.raises(SystemExit):
+            main(["fig99"])

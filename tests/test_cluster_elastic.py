@@ -1,0 +1,146 @@
+"""Tests for elastic ownership migration on the running cluster (§5.3)."""
+
+import pytest
+
+from repro.cluster import DFasterCluster, DFasterConfig
+from repro.cluster.elastic import ElasticCoordinator, PartitionedClient
+
+
+@pytest.fixture
+def rig():
+    cluster = DFasterCluster(DFasterConfig(
+        n_workers=2, vcpus=2, n_client_machines=0,
+        engine="faster", checkpoint_interval=0.05,
+    ))
+    coordinator = ElasticCoordinator(
+        cluster.env, cluster.metadata, cluster.workers, partition_count=8)
+    client = PartitionedClient(cluster.env, cluster.net, "pclient",
+                               cluster.metadata, coordinator)
+    return cluster, coordinator, client
+
+
+def run_request(cluster, client, key, ops, writes=0, until=None):
+    box = {}
+
+    def driver():
+        box["reply"] = yield from client.request(key, ops, writes)
+
+    cluster.env.process(driver())
+    cluster.env.run(until=until if until is not None
+                    else cluster.env.now + 0.5)
+    return box.get("reply")
+
+
+class TestInitialPlacement:
+    def test_every_partition_owned(self, rig):
+        cluster, coordinator, _ = rig
+        for partition in range(8):
+            owner = coordinator.owner_of(partition)
+            assert owner in ("worker-0", "worker-1")
+
+    def test_workers_hold_leases(self, rig):
+        cluster, coordinator, _ = rig
+        owned = sum(len(view.owned_partitions())
+                    for view in coordinator.views.values())
+        assert owned == 8
+
+    def test_request_routed_to_owner(self, rig):
+        cluster, coordinator, client = rig
+        reply = run_request(cluster, client, "somekey",
+                            [("set", "somekey", 1)], writes=1)
+        partition = coordinator.partitioner.partition_of("somekey")
+        assert reply.status == "ok"
+        assert reply.object_id == coordinator.owner_of(partition)
+
+
+class TestValidation:
+    def test_misrouted_batch_bounced(self, rig):
+        cluster, coordinator, client = rig
+        partition = coordinator.partitioner.partition_of("k")
+        owner = coordinator.owner_of(partition)
+        wrong = "worker-1" if owner == "worker-0" else "worker-0"
+        # Poison the client cache so it routes to the wrong worker.
+        client._cached_owners[partition] = wrong
+        reply = run_request(cluster, client, "k", [("set", "k", 1)],
+                            writes=1)
+        # The client recovered via a metadata refresh and a retry.
+        assert reply.status == "ok"
+        assert reply.object_id == owner
+        assert client.retries >= 1
+        wrong_worker = [w for w in cluster.workers
+                        if w.address == wrong][0]
+        assert wrong_worker.not_owner_rejections >= 1
+
+
+class TestMigration:
+    def test_transfer_moves_serving(self, rig):
+        cluster, coordinator, client = rig
+        partition = coordinator.partitioner.partition_of("k")
+        old = coordinator.owner_of(partition)
+        new = "worker-1" if old == "worker-0" else "worker-0"
+        run_request(cluster, client, "k", [("set", "k", "v1")], writes=1)
+
+        cluster.env.process(coordinator.migrate(partition, new))
+        cluster.env.run(until=cluster.env.now + 0.3)
+        assert coordinator.owner_of(partition) == new
+        assert coordinator.migrations_completed == 1
+
+        reply = run_request(cluster, client, "k", [("get", "k")])
+        assert reply.status == "ok"
+        assert reply.object_id == new
+
+    def test_transfer_waits_for_checkpoint_boundary(self, rig):
+        cluster, coordinator, client = rig
+        partition = coordinator.partitioner.partition_of("k")
+        old = coordinator.owner_of(partition)
+        new = "worker-1" if old == "worker-0" else "worker-0"
+        old_worker = [w for w in cluster.workers if w.address == old][0]
+        version_at_start = old_worker.engine.version
+
+        done = {}
+
+        def migrate_and_mark():
+            yield from coordinator.migrate(partition, new)
+            done["version"] = old_worker.engine.version
+
+        cluster.env.process(migrate_and_mark())
+        cluster.env.run(until=cluster.env.now + 0.3)
+        # Ownership flipped only after the old owner sealed a version.
+        assert done["version"] > version_at_start
+
+    def test_requests_during_transfer_retry_until_served(self, rig):
+        cluster, coordinator, client = rig
+        partition = coordinator.partitioner.partition_of("k")
+        old = coordinator.owner_of(partition)
+        new = "worker-1" if old == "worker-0" else "worker-0"
+
+        replies = []
+
+        def busy_client():
+            for index in range(6):
+                reply = yield from client.request(
+                    "k", [("set", "k", index)], 1)
+                replies.append(reply)
+                yield cluster.env.timeout(0.02)
+
+        def delayed_migration():
+            yield cluster.env.timeout(0.06)  # let a few requests land
+            yield from coordinator.migrate(partition, new)
+
+        cluster.env.process(busy_client())
+        cluster.env.process(delayed_migration())
+        cluster.env.run(until=cluster.env.now + 1.0)
+        assert len(replies) == 6
+        assert all(r.status == "ok" for r in replies)
+        # Some requests landed before, some after the transfer.
+        servers = {r.object_id for r in replies}
+        assert servers == {old, new}
+
+    def test_migrate_to_self_is_noop(self, rig):
+        cluster, coordinator, _ = rig
+        partition = 0
+        owner = coordinator.owner_of(partition)
+        cluster.env.process(coordinator.migrate(partition, owner))
+        cluster.env.run(until=cluster.env.now + 0.2)
+        assert coordinator.owner_of(partition) == owner
+        assert coordinator.migrations_completed == 0

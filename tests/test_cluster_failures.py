@@ -1,0 +1,155 @@
+"""Tests for real crashes (heartbeat detection, bounded restart) and
+cluster membership changes (§4.1, §5.3)."""
+
+import pytest
+
+from repro.cluster import DFasterCluster, DFasterConfig
+
+SMALL = dict(n_workers=3, vcpus=2, n_client_machines=1, client_threads=2,
+             batch_size=32, checkpoint_interval=0.05)
+
+
+class TestCrashRestart:
+    def test_crash_detected_and_restarted(self):
+        cluster = DFasterCluster(DFasterConfig(**SMALL))
+        cluster.schedule_crash(worker_index=1, at_time=0.3)
+        cluster.run(1.0, warmup=0.05)
+        [crash] = cluster.manager.detected_crashes
+        assert crash["worker_id"] == "worker-1"
+        # Detection within the heartbeat timeout plus a check interval.
+        assert crash["detected_at"] - 0.3 < \
+            cluster.manager.heartbeat_timeout + 0.05
+        assert crash["restarted_at"] is not None
+        # The worker is back up and serving.
+        worker = cluster.workers[1]
+        assert not worker.crashed
+        assert worker.endpoint.up
+
+    def test_crash_triggers_worldline_recovery(self):
+        cluster = DFasterCluster(DFasterConfig(**SMALL))
+        cluster.schedule_crash(worker_index=0, at_time=0.3)
+        cluster.run(1.0, warmup=0.05)
+        assert cluster.manager.controller.world_line == 1
+        [recovery] = cluster.manager.recoveries
+        assert recovery["finished_at"] is not None
+        assert not cluster.finder.halted
+        # Every worker is on the new world-line.
+        for worker in cluster.workers:
+            assert worker.engine.world_line.current == 1
+
+    def test_committed_state_survives_crash(self):
+        cluster = DFasterCluster(DFasterConfig(**SMALL))
+        cluster.schedule_crash(worker_index=2, at_time=0.4)
+        stats = cluster.run(1.2, warmup=0.05)
+        committed_before = None  # committed ops are never retracted:
+        committed = sum(c.total_committed() for c in cluster.clients)
+        aborted = sum(c.total_aborted() for c in cluster.clients)
+        assert committed > 0
+        # In-flight work on the dead worker was lost (timeouts/aborts).
+        assert aborted > 0
+        # Throughput resumes after recovery.
+        series = dict(stats.completed.series(0.1))
+        assert series.get(1.0, 0) > 0
+
+    def test_restarted_worker_versions_do_not_collide(self):
+        cluster = DFasterCluster(DFasterConfig(**SMALL))
+        worker = cluster.workers[1]
+        cluster.schedule_crash(worker_index=1, at_time=0.3)
+        cluster.run(0.8, warmup=0.05)
+        # The resume hint pushed the restarted shard past everything the
+        # table had seen: no rolled-back token number is ever reissued.
+        assert worker.engine.version > \
+            cluster.finder.current_cut().version_of("worker-1")
+
+    def test_cluster_keeps_committing_after_crash(self):
+        cluster = DFasterCluster(DFasterConfig(**SMALL))
+        cluster.schedule_crash(worker_index=0, at_time=0.3)
+        stats = cluster.run(1.2, warmup=0.05)
+        committed = dict(stats.committed.series(0.2))
+        assert committed.get(1.0, 0) > 0
+
+
+class TestChaos:
+    """Repeated mixed failures: the accounting identities must hold."""
+
+    def test_accounting_identity_under_failure_storm(self):
+        cluster = DFasterCluster(DFasterConfig(**SMALL))
+        for at_time in (0.2, 0.45, 0.47, 0.9):
+            cluster.schedule_failure(at_time)
+        cluster.schedule_crash(worker_index=1, at_time=0.65)
+        cluster.run(1.6, warmup=0.05)
+        for client in cluster.clients:
+            for session in client.sessions.values():
+                issued = session._next_seqno - 1
+                tracked = session.committed_ops + session.aborted_ops
+                in_flight = sum(r.op_count for r in session.records.values())
+                # Every issued op is committed, aborted, or still
+                # tracked (in flight / awaiting a cut) — never double
+                # counted, never dropped.  (RETRY'd batches are dropped
+                # before execution and re-issued under fresh seqnos, so
+                # tracked totals never exceed issued.)
+                assert tracked + in_flight <= issued
+                assert session.committed_ops > 0
+
+    def test_progress_resumes_after_every_failure(self):
+        cluster = DFasterCluster(DFasterConfig(**SMALL))
+        failures = (0.2, 0.5, 0.8)
+        for at_time in failures:
+            cluster.schedule_failure(at_time)
+        stats = cluster.run(1.4, warmup=0.05)
+        for at_time in failures:
+            # Within 100-400ms of each failure, commits flow again.
+            assert stats.committed.total(at_time + 0.1, at_time + 0.4) > 0
+        assert cluster.manager.controller.world_line == 3
+        assert not cluster.finder.halted
+
+
+class TestMembership:
+    def test_add_worker_joins_and_serves(self):
+        cluster = DFasterCluster(DFasterConfig(**SMALL))
+
+        def grow():
+            yield cluster.env.timeout(0.2)
+            cluster.add_worker()
+
+        cluster.env.process(grow())
+        cluster.run(0.8, warmup=0.05)
+        assert len(cluster.workers) == 4
+        newcomer = cluster.workers[3]
+        assert newcomer.batches_served > 0
+        # The newcomer fast-forwarded to Vmax and is inside the cut.
+        assert cluster.finder.current_cut().version_of("worker-3") > 0
+
+    def test_cut_advances_past_join(self):
+        cluster = DFasterCluster(DFasterConfig(**SMALL))
+        cuts = {}
+
+        def grow():
+            yield cluster.env.timeout(0.2)
+            cuts["before"] = cluster.finder.current_cut()
+            cluster.add_worker()
+            yield cluster.env.timeout(0.4)
+            cuts["after"] = cluster.finder.current_cut()
+
+        cluster.env.process(grow())
+        cluster.run(0.8, warmup=0.05)
+        assert cuts["after"].version_of("worker-0") > \
+            cuts["before"].version_of("worker-0")
+
+    def test_remove_worker_keeps_cut_advancing(self):
+        cluster = DFasterCluster(DFasterConfig(**SMALL))
+        cuts = {}
+
+        def shrink():
+            yield cluster.env.timeout(0.2)
+            cluster.remove_worker(2)
+            cuts["at_removal"] = cluster.finder.current_cut()
+            yield cluster.env.timeout(0.4)
+            cuts["after"] = cluster.finder.current_cut()
+
+        cluster.env.process(shrink())
+        cluster.run(0.8, warmup=0.05)
+        # The departed shard no longer gates the minimum.
+        assert cuts["after"].version_of("worker-0") > \
+            cuts["at_removal"].version_of("worker-0")
+        assert "worker-2" not in list(cluster.finder.table.members())

@@ -1,0 +1,92 @@
+"""Tests for DPR-cuts and DPR-guarantees."""
+
+import pytest
+
+from repro.core.cuts import DprCut, DprGuarantee, guarantee_from_cut
+from repro.core.versioning import Token
+
+
+class TestDprCut:
+    def test_of_tokens(self):
+        cut = DprCut.of(Token("A", 1), Token("B", 2))
+        assert cut.version_of("A") == 1
+        assert cut.version_of("B") == 2
+
+    def test_missing_object_never_committed(self):
+        assert DprCut().version_of("X") == 0
+
+    def test_covers(self):
+        cut = DprCut.of(Token("A", 3))
+        assert cut.covers(Token("A", 2))
+        assert cut.covers(Token("A", 3))
+        assert not cut.covers(Token("A", 4))
+        assert not cut.covers(Token("B", 1))
+
+    def test_dominates(self):
+        low = DprCut.of(Token("A", 1), Token("B", 1))
+        high = DprCut.of(Token("A", 2), Token("B", 1))
+        assert high.dominates(low)
+        assert not low.dominates(high)
+        assert high.dominates(high)
+
+    def test_merge_max(self):
+        left = DprCut.of(Token("A", 3), Token("B", 1))
+        right = DprCut.of(Token("B", 4), Token("C", 2))
+        merged = left.merge_max(right)
+        assert merged.version_of("A") == 3
+        assert merged.version_of("B") == 4
+        assert merged.version_of("C") == 2
+
+    def test_str_matches_paper(self):
+        cut = DprCut.of(Token("B", 1), Token("A", 1))
+        assert str(cut) == "{A-1, B-1}"
+
+
+class TestDprGuarantee:
+    def test_watermark_default_zero(self):
+        assert DprGuarantee().watermark("s") == 0
+
+    def test_survives_respects_exceptions(self):
+        guarantee = DprGuarantee(
+            watermarks={"s": 10}, exceptions={"s": (4, 7)},
+        )
+        assert guarantee.survives("s", 3)
+        assert not guarantee.survives("s", 4)
+        assert guarantee.survives("s", 5)
+        assert not guarantee.survives("s", 11)
+
+
+class TestGuaranteeFromCut:
+    def test_prefix_stops_at_uncovered(self):
+        cut = DprCut.of(Token("A", 1), Token("B", 1))
+        guarantee = guarantee_from_cut(cut, {
+            "s1": [(1, "A", 1), (2, "B", 1), (3, "B", 2), (4, "A", 2)],
+        })
+        assert guarantee.watermark("s1") == 2
+
+    def test_figure2_scenario(self):
+        # The paper's running example: cut {A-1, B-1} gives S1 -> op 2
+        # and S2 -> op 1.
+        cut = DprCut.of(Token("A", 1), Token("B", 1))
+        guarantee = guarantee_from_cut(cut, {
+            "S1": [(1, "A", 1), (2, "B", 1), (3, "B", 2), (4, "A", 2)],
+            "S2": [(1, "A", 1), (2, "A", 2), (3, "C", 2), (4, "B", 2)],
+        })
+        assert guarantee.watermark("S1") == 2
+        assert guarantee.watermark("S2") == 1
+
+    def test_pending_ops_skipped_with_exception(self):
+        cut = DprCut.of(Token("A", 1))
+        guarantee = guarantee_from_cut(
+            cut,
+            {"s": [(1, "A", 1), (2, "A", 5), (3, "A", 1)]},
+            pending={"s": [2]},
+        )
+        # Op 2 is pending (version known but uncovered); relaxed DPR
+        # advances past it and reports it as an exception.
+        assert guarantee.watermark("s") == 3
+        assert guarantee.exceptions["s"] == (2,)
+
+    def test_empty_session(self):
+        guarantee = guarantee_from_cut(DprCut(), {"s": []})
+        assert guarantee.watermark("s") == 0

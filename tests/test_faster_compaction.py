@@ -1,0 +1,105 @@
+"""Tests for DPR-gated log compaction (§5.5)."""
+
+import pytest
+
+from repro.faster.checkpoint import materialize
+from repro.faster.state_object import FasterStateObject
+from repro.faster.store import FasterKV
+
+
+@pytest.fixture
+def kv():
+    return FasterKV(bucket_count=8)
+
+
+class TestCompaction:
+    def test_superseded_history_collected(self, kv):
+        for value in range(5):
+            kv.upsert("hot", value)
+            kv.run_checkpoint_synchronously()
+        before = len(kv.log)
+        collected = kv.compact_until(4)
+        assert collected > 0
+        assert len(kv.log) == before - collected
+        assert kv.read("hot").value == 4
+
+    def test_state_identical_after_compaction(self, kv):
+        for i in range(10):
+            kv.upsert(i % 3, i)
+        kv.run_checkpoint_synchronously()
+        for i in range(5):
+            kv.upsert(i % 2, 100 + i)
+        expected = materialize(kv)
+        kv.compact_until(1)
+        assert materialize(kv) == expected
+
+    def test_rollback_to_safe_version_still_works(self, kv):
+        kv.upsert("k", "safe")
+        kv.run_checkpoint_synchronously()  # checkpoint 1 (the cut)
+        kv.upsert("k", "newer")
+        kv.upsert("other", 1)
+        kv.run_checkpoint_synchronously()  # checkpoint 2
+        kv.compact_until(1)
+        kv.run_rollback_synchronously(1)
+        assert kv.read("k").value == "safe"
+        assert kv.read("other").status != "ok" or \
+            kv.read("other").value is None
+
+    def test_tombstoned_keys_stay_deleted(self, kv):
+        kv.upsert("gone", 1)
+        kv.delete("gone")
+        kv.upsert("kept", 2)
+        kv.run_checkpoint_synchronously()
+        kv.compact_until(1)
+        assert kv.read("gone").value is None
+        assert kv.read("kept").value == 2
+
+    def test_newer_version_records_survive(self, kv):
+        kv.upsert("k", "old")
+        kv.run_checkpoint_synchronously()
+        kv.upsert("k", "new")  # version 2, above the safe version
+        kv.run_checkpoint_synchronously()
+        kv.compact_until(1)
+        # Both the <=safe image and the newer record are intact.
+        assert kv.read("k").value == "new"
+        kv.run_rollback_synchronously(1)
+        assert kv.read("k").value == "old"
+
+    def test_unknown_checkpoint_rejected(self, kv):
+        with pytest.raises(KeyError):
+            kv.compact_until(9)
+
+    def test_nothing_to_collect_is_zero(self, kv):
+        kv.upsert("a", 1)
+        kv.run_checkpoint_synchronously()
+        assert kv.compact_until(1) == 0
+
+    def test_checkpoint_addresses_rebased(self, kv):
+        for value in range(4):
+            kv.upsert("k", value)
+            kv.run_checkpoint_synchronously()
+        kv.compact_until(3)
+        # The surviving checkpoints' prefixes stay within the log.
+        for checkpoint in kv.checkpoints.values():
+            assert checkpoint.until_address <= kv.log.tail_address
+        assert all(v >= 3 for v in kv.checkpoints)
+
+
+class TestAdapterGc:
+    def test_gc_gated_on_guarantee(self):
+        shard = FasterStateObject("W", bucket_count=8)
+        for value in range(4):
+            shard.execute(("set", "k", value))
+            shard.commit()
+        # Guarantee only covers version 2: compaction stops there.
+        collected = shard.gc_to_guarantee(2)
+        assert collected > 0
+        assert shard.get("k") == 3
+        # Restore to the guarantee still possible.
+        shard.restore(2)
+        assert shard.get("k") == 1
+
+    def test_gc_without_coverage_is_noop(self):
+        shard = FasterStateObject("W", bucket_count=8)
+        shard.execute(("set", "k", 1))
+        assert shard.gc_to_guarantee(0) == 0

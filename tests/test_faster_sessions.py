@@ -1,0 +1,121 @@
+"""Tests for FASTER sessions: serials, PENDING, strict vs relaxed CPR."""
+
+import pytest
+
+from repro.faster.sessions import FasterSession
+from repro.faster.store import FasterKV, OpStatus
+
+
+@pytest.fixture
+def kv():
+    return FasterKV(bucket_count=16)
+
+
+@pytest.fixture
+def cold_kv():
+    kv = FasterKV(bucket_count=16, memory_budget_records=2)
+    session = FasterSession(kv, "loader")
+    for i in range(5):
+        session.upsert(i, i * 10)
+    kv.run_checkpoint_synchronously()
+    for i in range(5):
+        session.upsert(100 + i, i)
+    return kv
+
+
+class TestSerials:
+    def test_serials_monotonic(self, kv):
+        session = FasterSession(kv, "s")
+        ops = [session.upsert("a", 1), session.read("a"),
+               session.delete("a")]
+        assert [op.serial for op in ops] == [1, 2, 3]
+
+    def test_completed_ops_recorded(self, kv):
+        session = FasterSession(kv, "s")
+        session.upsert("a", 1)
+        session.read("a")
+        assert len(session.completed_ops()) == 2
+
+    def test_version_stamps_on_ops(self, kv):
+        session = FasterSession(kv, "s")
+        first = session.upsert("a", 1)
+        kv.run_checkpoint_synchronously()
+        second = session.upsert("a", 2)
+        assert (first.version, second.version) == (1, 2)
+
+    def test_ops_at_or_below_version(self, kv):
+        session = FasterSession(kv, "s")
+        session.upsert("a", 1)
+        kv.run_checkpoint_synchronously()
+        session.upsert("a", 2)
+        assert session.ops_at_or_below_version(1) == [1]
+        assert session.ops_at_or_below_version(2) == [1, 2]
+
+
+class TestPending:
+    def test_cold_read_pends(self, cold_kv):
+        session = FasterSession(cold_kv, "s")
+        op = session.read(0)
+        assert op.status == OpStatus.PENDING
+        assert session.pending_serials() == [op.serial]
+
+    def test_complete_pending_resolves_in_order(self, cold_kv):
+        session = FasterSession(cold_kv, "s")
+        session.read(0)
+        session.read(1)
+        resolved = session.complete_pending()
+        assert [op.value for op in resolved] == [0, 10]
+        assert session.pending_serials() == []
+
+    def test_relaxed_allows_parallel_pending(self, cold_kv):
+        session = FasterSession(cold_kv, "s", strict=False)
+        session.read(0)
+        session.read(1)
+        session.upsert("new", 1)  # later op proceeds past pendings
+        assert len(session.pending_serials()) == 2
+
+    def test_strict_blocks_after_pending(self, cold_kv):
+        session = FasterSession(cold_kv, "s", strict=True)
+        session.read(0)
+        with pytest.raises(RuntimeError):
+            session.read(1)
+        session.complete_pending()
+        session.read(1)  # fine now
+
+    def test_pending_resolution_honours_rollback(self, cold_kv):
+        # A pending read whose record is purged must not resurrect it.
+        session = FasterSession(cold_kv, "s")
+        # Write an uncommitted value then park a read on cold storage.
+        session.upsert(0, "uncommitted-overwrite")
+        cold = session.read(1)
+        assert cold.status == OpStatus.PENDING
+        cold_kv.run_rollback_synchronously(1)
+        resolved = session.complete_pending()
+        # Record 1 was written in version 1 (durable): still visible.
+        assert resolved[0].value == 10
+        # The uncommitted overwrite is gone; the surviving record may be
+        # cold (its in-memory copy was the purged overwrite).
+        survivor = session.read(0)
+        if survivor.status == OpStatus.PENDING:
+            survivor = session.complete_pending()[0]
+        assert survivor.value == 0
+
+    def test_pending_rmw_resumes(self, cold_kv):
+        session = FasterSession(cold_kv, "s")
+        op = session.rmw(0, lambda v: (v or 0) + 1)
+        if op.status == OpStatus.PENDING:
+            resolved = session.complete_pending()
+            assert resolved[0].value == 1
+        else:
+            assert op.value == 1
+
+
+class TestEpochParticipation:
+    def test_refresh_advances_thread(self, kv):
+        session = FasterSession(kv, "s", thread_id="worker")
+        kv.begin_checkpoint()
+        session.refresh()
+        # t0 (default) + worker must both observe; drive t0 too.
+        kv.refresh(FasterKV.DEFAULT_THREAD)
+        session.refresh()
+        assert kv.epoch.thread("worker").version == kv.current_version

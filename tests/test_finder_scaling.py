@@ -1,0 +1,70 @@
+"""Scaling behaviour of the finder algorithms (§3.4's motivation).
+
+The exact algorithm persists the precedence graph: one vertex per
+commit plus one edge per cross-shard dependency, so its durable write
+volume grows with the dependency fan-out — quadratically with cluster
+size in the worst case where sessions touch every pair of shards.  The
+approximate algorithm writes exactly one row update per persist,
+independent of fan-out.
+"""
+
+import pytest
+
+from repro.core import InMemoryStateObject
+from repro.core.finder import ApproximateDprFinder, ExactDprFinder
+from repro.core.libdpr import DprClientSession, DprServer
+
+
+def run_all_pairs_workload(finder, n_shards: int, rounds: int = 3) -> int:
+    """Sessions sweep every shard with distinct strides, so each shard's
+    version accumulates dependency edges to ~every other shard."""
+    objects = {f"o{i}": InMemoryStateObject(f"o{i}")
+               for i in range(n_shards)}
+    servers = {name: DprServer(obj, finder)
+               for name, obj in objects.items()}
+    sessions = [DprClientSession(f"s{i}") for i in range(n_shards)]
+    for _round in range(rounds):
+        for index, session in enumerate(sessions):
+            stride = 2 * index + 1  # odd: coprime with power-of-two sizes
+            for step in range(n_shards):
+                target = f"o{(index + step * stride) % n_shards}"
+                header = session.prepare_batch(target, 1)
+                session.absorb_response(
+                    servers[target].process_batch(header, [("incr", "n")]))
+        for server in servers.values():
+            server.commit()
+    return sum(obj.commits for obj in objects.values())
+
+
+class TestWriteVolumeScaling:
+    def test_exact_write_volume_superlinear(self):
+        volumes = {}
+        for n_shards in (2, 4, 8):
+            finder = ExactDprFinder()
+            commits = run_all_pairs_workload(finder, n_shards)
+            volumes[n_shards] = finder.graph_writes / commits
+        # Per-commit durable writes grow with cluster size (the edge
+        # count): the §3.4 scalability problem.
+        assert volumes[8] > volumes[4] > volumes[2]
+        assert volumes[8] > 1.8 * volumes[2]
+
+    def test_approximate_write_volume_constant(self):
+        volumes = {}
+        for n_shards in (2, 4, 8):
+            finder = ApproximateDprFinder()
+            commits = run_all_pairs_workload(finder, n_shards)
+            # One table upsert per persisted commit, regardless of
+            # fan-out.
+            volumes[n_shards] = commits  # writes == commits by design
+        assert volumes[8] == pytest.approx(volumes[2] * 4, rel=0.1)
+
+    def test_both_reach_equivalent_cut(self):
+        for finder_cls in (ExactDprFinder, ApproximateDprFinder):
+            finder = finder_cls()
+            run_all_pairs_workload(finder, 4)
+            cut = finder.tick()
+            # All shards commit in lock-step in this workload, so both
+            # algorithms converge to the same positions.
+            positions = {cut.version_of(f"o{i}") for i in range(4)}
+            assert len(positions) == 1
+            assert positions.pop() >= 3

@@ -1,0 +1,105 @@
+"""Tests for the recovery controller (§4)."""
+
+import pytest
+
+from repro.core import InMemoryStateObject
+from repro.core.finder import ApproximateDprFinder, ExactDprFinder
+from repro.core.libdpr import DprServer
+from repro.core.recovery import RecoveryController
+
+
+def build_cluster(finder=None):
+    finder = finder or ExactDprFinder()
+    objects = {name: InMemoryStateObject(name) for name in "AB"}
+    servers = {name: DprServer(obj, finder)
+               for name, obj in objects.items()}
+    return finder, objects, servers
+
+
+class TestPlanning:
+    def test_plan_bumps_worldline_and_halts(self):
+        finder, objects, servers = build_cluster()
+        controller = RecoveryController(finder)
+        plan = controller.plan_recovery(objects.keys())
+        assert plan.world_line == 1
+        assert finder.halted
+        assert controller.in_progress
+
+    def test_plan_targets_are_cut_positions(self):
+        finder, objects, servers = build_cluster()
+        objects["A"].execute(("set", "k", 1))
+        servers["A"].commit()
+        servers["B"].commit()
+        finder.tick()
+        controller = RecoveryController(finder)
+        plan = controller.plan_recovery(objects.keys())
+        assert plan.target_for("A") == 1
+        assert plan.target_for("unknown") == 0
+
+    def test_progress_resumes_after_all_report(self):
+        finder, objects, _ = build_cluster()
+        controller = RecoveryController(finder)
+        controller.plan_recovery(objects.keys())
+        assert not controller.report_restored("A")
+        assert finder.halted
+        assert controller.report_restored("B")
+        assert not finder.halted
+
+    def test_worldline_persisted_in_table(self):
+        finder, objects, _ = build_cluster()
+        controller = RecoveryController(finder)
+        controller.plan_recovery(objects.keys())
+        assert finder.table.read_world_line() == 1
+
+    def test_nested_failure_replans(self):
+        finder, objects, _ = build_cluster()
+        controller = RecoveryController(finder)
+        controller.plan_recovery(objects.keys())
+        controller.report_restored("A")
+        second = controller.plan_recovery(objects.keys())
+        assert second.world_line == 2
+        # The stale A report does not unhalt the new recovery.
+        controller.report_restored("A")
+        assert finder.halted
+        controller.report_restored("B")
+        assert not finder.halted
+
+
+class TestSynchronousRecover:
+    def test_recover_restores_all_objects(self):
+        finder, objects, servers = build_cluster()
+        objects["A"].execute(("set", "k", "durable"))
+        servers["A"].commit()
+        servers["B"].commit()
+        finder.tick()
+        objects["A"].execute(("set", "k", "volatile"))
+        controller = RecoveryController(finder)
+        plan = controller.recover(objects)
+        assert objects["A"].get("k") == "durable"
+        assert objects["A"].world_line.current == plan.world_line
+        assert not finder.halted
+        assert controller.history == [plan]
+
+    def test_guarantee_survives_recovery(self):
+        # Whatever the finder promised before the failure is intact
+        # after: the cut is frozen during recovery.
+        finder, objects, servers = build_cluster(ApproximateDprFinder())
+        objects["A"].execute(("set", "x", 1))
+        objects["B"].execute(("set", "y", 2))
+        servers["A"].commit()
+        servers["B"].commit()
+        promised = finder.tick()
+        controller = RecoveryController(finder)
+        controller.recover(objects)
+        after = finder.current_cut()
+        assert after.dominates(promised)
+        assert objects["A"].get("x") == 1
+        assert objects["B"].get("y") == 2
+
+    def test_repeated_recoveries(self):
+        finder, objects, servers = build_cluster()
+        controller = RecoveryController(finder)
+        for expected in (1, 2, 3):
+            plan = controller.recover(objects)
+            assert plan.world_line == expected
+        assert objects["A"].world_line.current == 3

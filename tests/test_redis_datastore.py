@@ -1,0 +1,202 @@
+"""Tests for the Redis-clone data structures."""
+
+import pytest
+
+from repro.redisclone.datastore import DataStore, RedisError, WrongTypeError
+
+
+@pytest.fixture
+def db():
+    return DataStore()
+
+
+class TestStrings:
+    def test_set_get(self, db):
+        db.set("k", "v")
+        assert db.get("k") == "v"
+
+    def test_get_missing(self, db):
+        assert db.get("k") is None
+
+    def test_setnx(self, db):
+        assert db.setnx("k", "1")
+        assert not db.setnx("k", "2")
+        assert db.get("k") == "1"
+
+    def test_getset(self, db):
+        assert db.getset("k", "new") is None
+        assert db.getset("k", "newer") == "new"
+
+    def test_append_and_strlen(self, db):
+        assert db.append("k", "ab") == 2
+        assert db.append("k", "cd") == 4
+        assert db.strlen("k") == 4
+
+    def test_incrby(self, db):
+        assert db.incrby("n", 1) == 1
+        assert db.incrby("n", -3) == -2
+
+    def test_incr_non_integer_rejected(self, db):
+        db.set("k", "hello")
+        with pytest.raises(RedisError):
+            db.incrby("k", 1)
+
+    def test_values_coerced_to_str(self, db):
+        db.set("k", 42)
+        assert db.get("k") == "42"
+
+
+class TestGeneric:
+    def test_exists_delete(self, db):
+        db.set("a", "1")
+        db.set("b", "2")
+        assert db.exists("a")
+        assert db.delete("a", "b", "missing") == 2
+        assert not db.exists("a")
+
+    def test_type_of(self, db):
+        db.set("s", "x")
+        db.lpush("l", "x")
+        db.hset("h", "f", "x")
+        db.sadd("z", "x")
+        assert db.type_of("s") == "string"
+        assert db.type_of("l") == "list"
+        assert db.type_of("h") == "hash"
+        assert db.type_of("z") == "set"
+        assert db.type_of("missing") == "none"
+
+    def test_wrong_type_errors(self, db):
+        db.set("k", "string")
+        with pytest.raises(WrongTypeError):
+            db.lpush("k", "x")
+        with pytest.raises(WrongTypeError):
+            db.hget("k", "f")
+
+    def test_flushall_dbsize(self, db):
+        db.set("a", "1")
+        db.set("b", "2")
+        assert db.dbsize() == 2
+        db.flushall()
+        assert db.dbsize() == 0
+
+
+class TestExpiry:
+    def test_expire_and_reap(self):
+        clock = {"now": 0.0}
+        db = DataStore(clock=lambda: clock["now"])
+        db.set("k", "v")
+        assert db.expire("k", 10)
+        clock["now"] = 5.0
+        assert db.get("k") == "v"
+        clock["now"] = 10.0
+        assert db.get("k") is None
+
+    def test_ttl_codes(self):
+        clock = {"now": 0.0}
+        db = DataStore(clock=lambda: clock["now"])
+        assert db.ttl("missing") == -2
+        db.set("k", "v")
+        assert db.ttl("k") == -1
+        db.expire("k", 7)
+        assert db.ttl("k") == 7
+
+    def test_persist_clears_expiry(self):
+        clock = {"now": 0.0}
+        db = DataStore(clock=lambda: clock["now"])
+        db.set("k", "v")
+        db.expire("k", 1)
+        assert db.persist("k")
+        clock["now"] = 100.0
+        assert db.get("k") == "v"
+
+    def test_set_clears_old_expiry(self):
+        clock = {"now": 0.0}
+        db = DataStore(clock=lambda: clock["now"])
+        db.set("k", "v")
+        db.expire("k", 1)
+        db.set("k", "v2")
+        clock["now"] = 100.0
+        assert db.get("k") == "v2"
+
+
+class TestHashes:
+    def test_hset_hget(self, db):
+        assert db.hset("h", "f", "1") == 1
+        assert db.hset("h", "f", "2") == 0
+        assert db.hget("h", "f") == "2"
+        assert db.hget("h", "missing") is None
+
+    def test_hdel_removes_empty_hash(self, db):
+        db.hset("h", "f", "1")
+        assert db.hdel("h", "f", "g") == 1
+        assert not db.exists("h")
+
+    def test_hgetall_hlen(self, db):
+        db.hset("h", "a", "1")
+        db.hset("h", "b", "2")
+        assert db.hgetall("h") == {"a": "1", "b": "2"}
+        assert db.hlen("h") == 2
+
+
+class TestLists:
+    def test_push_pop_both_ends(self, db):
+        db.rpush("l", "b", "c")
+        db.lpush("l", "a")
+        assert db.lrange("l", 0, -1) == ["a", "b", "c"]
+        assert db.lpop("l") == "a"
+        assert db.rpop("l") == "c"
+
+    def test_pop_empty(self, db):
+        assert db.lpop("l") is None
+        assert db.rpop("l") is None
+
+    def test_llen_and_cleanup(self, db):
+        db.rpush("l", "x")
+        assert db.llen("l") == 1
+        db.lpop("l")
+        assert not db.exists("l")
+
+    def test_lrange_inclusive_stop(self, db):
+        db.rpush("l", "a", "b", "c", "d")
+        assert db.lrange("l", 1, 2) == ["b", "c"]
+
+
+class TestSets:
+    def test_sadd_dedupes(self, db):
+        assert db.sadd("s", "a", "b", "a") == 2
+        assert db.scard("s") == 2
+
+    def test_sismember(self, db):
+        db.sadd("s", "a")
+        assert db.sismember("s", "a")
+        assert not db.sismember("s", "b")
+
+    def test_srem_removes_empty_set(self, db):
+        db.sadd("s", "a")
+        assert db.srem("s", "a", "b") == 1
+        assert not db.exists("s")
+
+    def test_smembers(self, db):
+        db.sadd("s", "x", "y")
+        assert db.smembers("s") == {"x", "y"}
+
+
+class TestSnapshotSupport:
+    def test_dump_load_round_trip(self, db):
+        db.set("s", "v")
+        db.rpush("l", "a", "b")
+        db.hset("h", "f", "1")
+        db.sadd("z", "m")
+        image = db.dump()
+        other = DataStore()
+        other.load(image)
+        assert other.get("s") == "v"
+        assert other.lrange("l", 0, -1) == ["a", "b"]
+        assert other.hgetall("h") == {"f": "1"}
+        assert other.smembers("z") == {"m"}
+
+    def test_dump_is_deep(self, db):
+        db.rpush("l", "a")
+        image = db.dump()
+        db.rpush("l", "b")
+        assert image["values"]["l"] == ["a"]

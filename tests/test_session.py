@@ -1,0 +1,157 @@
+"""Tests for client sessions and SessionOrders."""
+
+import pytest
+
+from repro.core.cuts import DprCut
+from repro.core.session import RollbackError, Session, SessionStatus
+from repro.core.versioning import Token
+
+
+@pytest.fixture
+def session():
+    return Session("s1")
+
+
+class TestIssueComplete:
+    def test_seqnos_monotonic(self, session):
+        first = session.issue("A")
+        second = session.issue("B")
+        assert (first.seqno, second.seqno) == (1, 2)
+
+    def test_header_carries_vs(self, session):
+        header = session.issue("A")
+        session.complete(header.seqno, version=5)
+        assert session.version_vector == 5
+        assert session.issue("B").min_version == 5
+
+    def test_vs_never_decreases(self, session):
+        session.complete(session.issue("A").seqno, version=5)
+        session.complete(session.issue("A").seqno, version=3)
+        assert session.version_vector == 5
+
+    def test_deps_are_recent_completions(self, session):
+        session.complete(session.issue("A").seqno, version=2)
+        header = session.issue("B")
+        assert header.deps == (Token("A", 2),)
+        # Cleared after attachment.
+        assert session.issue("C").deps == ()
+
+    def test_deps_merge_max_version(self, session):
+        session.complete(session.issue("A").seqno, version=1)
+        session.complete(session.issue("A").seqno, version=2)
+        assert session.issue("B").deps == (Token("A", 2),)
+
+    def test_double_complete_rejected(self, session):
+        header = session.issue("A")
+        session.complete(header.seqno, version=1)
+        with pytest.raises(ValueError):
+            session.complete(header.seqno, version=1)
+
+    def test_pending_tracking(self, session):
+        session.issue("A")
+        header = session.issue("B")
+        assert session.pending_count() == 2
+        session.complete(header.seqno, version=1)
+        assert session.pending_seqnos() == [1]
+
+
+class TestStrictMode:
+    def test_strict_blocks_second_inflight(self):
+        session = Session("s", strict=True)
+        session.issue("A")
+        with pytest.raises(RuntimeError):
+            session.issue("B")
+
+    def test_strict_allows_after_completion(self):
+        session = Session("s", strict=True)
+        header = session.issue("A")
+        session.complete(header.seqno, version=1)
+        session.issue("B")  # fine
+
+
+class TestCommitTracking:
+    def test_watermark_advances_with_cut(self, session):
+        for obj, version in [("A", 1), ("B", 1), ("B", 2)]:
+            header = session.issue(obj)
+            session.complete(header.seqno, version=version)
+        assert session.refresh_commit(DprCut.of(Token("A", 1), Token("B", 1))) == 2
+        assert session.refresh_commit(DprCut.of(Token("A", 1), Token("B", 2))) == 3
+
+    def test_watermark_monotonic(self, session):
+        header = session.issue("A")
+        session.complete(header.seqno, version=1)
+        session.refresh_commit(DprCut.of(Token("A", 1)))
+        # A weaker cut never regresses the watermark.
+        assert session.refresh_commit(DprCut()) == 1
+
+    def test_relaxed_pending_becomes_exception(self, session):
+        session.issue("A")  # seqno 1 stays pending
+        header = session.issue("A")
+        session.complete(header.seqno, version=1)
+        watermark = session.refresh_commit(DprCut.of(Token("A", 1)))
+        assert watermark == 2
+        assert session.committed_exceptions == (1,)
+
+    def test_exception_clears_when_resolved_and_covered(self, session):
+        pending = session.issue("A")
+        done = session.issue("A")
+        session.complete(done.seqno, version=1)
+        session.refresh_commit(DprCut.of(Token("A", 1)))
+        assert session.committed_exceptions == (1,)
+        session.complete(pending.seqno, version=1)
+        session.refresh_commit(DprCut.of(Token("A", 1)))
+        assert session.committed_exceptions == ()
+
+    def test_commit_timestamps_recorded(self, session):
+        header = session.issue("A", now=1.0)
+        session.complete(header.seqno, version=1, now=2.0)
+        session.refresh_commit(DprCut.of(Token("A", 1)), now=5.0)
+        assert session.op(header.seqno).committed_at == 5.0
+
+
+class TestFailureHandling:
+    def _filled(self, session):
+        for obj, version in [("A", 1), ("B", 1), ("A", 2), ("B", 2)]:
+            header = session.issue(obj)
+            session.complete(header.seqno, version=version)
+
+    def test_observe_failure_computes_survivors(self, session):
+        self._filled(session)
+        error = session.observe_failure(1, DprCut.of(Token("A", 1), Token("B", 1)))
+        assert error.survived_seqno == 2
+        assert error.lost == (3, 4)
+        assert session.status is SessionStatus.BROKEN
+
+    def test_broken_session_rejects_issue(self, session):
+        self._filled(session)
+        session.observe_failure(1, DprCut())
+        with pytest.raises(RollbackError):
+            session.issue("A")
+
+    def test_acknowledge_resumes(self, session):
+        self._filled(session)
+        session.observe_failure(1, DprCut.of(Token("A", 1), Token("B", 1)))
+        session.acknowledge_rollback()
+        header = session.issue("A")
+        assert header.world_line == 1
+        assert header.seqno == 5  # seqnos keep increasing
+
+    def test_pending_ops_lost_on_failure(self, session):
+        session.issue("A")  # pending
+        error = session.observe_failure(1, DprCut())
+        assert error.lost == (1,)
+
+    def test_duplicate_failure_notification_idempotent(self, session):
+        self._filled(session)
+        session.observe_failure(2, DprCut.of(Token("A", 1), Token("B", 1)))
+        session.acknowledge_rollback()
+        # A stale world-line does not move the session backwards.
+        session.world_line.advance_to(1)
+        assert session.world_line.current == 2
+
+    def test_completion_after_loss_ignored(self, session):
+        header = session.issue("A")
+        session.observe_failure(1, DprCut())
+        session.acknowledge_rollback()
+        session.complete(header.seqno, version=9)  # op was lost: no-op
+        assert session.version_vector == 0

@@ -1,0 +1,126 @@
+"""Tests for the FIFO queue primitive."""
+
+import pytest
+
+from repro.sim.queues import Queue, QueueClosed
+
+
+class TestQueueBasics:
+    def test_put_then_get(self, env):
+        queue = Queue(env)
+        queue.put("a")
+        queue.put("b")
+        got = []
+
+        def consumer():
+            got.append((yield queue.get()))
+            got.append((yield queue.get()))
+
+        env.process(consumer())
+        env.run()
+        assert got == ["a", "b"]
+
+    def test_get_blocks_until_put(self, env):
+        queue = Queue(env)
+        got = []
+
+        def consumer():
+            got.append(((yield queue.get()), env.now))
+
+        def producer():
+            yield env.timeout(5)
+            queue.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got == [("late", 5.0)]
+
+    def test_fifo_across_getters(self, env):
+        queue = Queue(env)
+        got = []
+
+        def consumer(label):
+            item = yield queue.get()
+            got.append((label, item))
+
+        env.process(consumer("first"))
+        env.process(consumer("second"))
+
+        def producer():
+            yield env.timeout(1)
+            queue.put(1)
+            queue.put(2)
+
+        env.process(producer())
+        env.run()
+        assert got == [("first", 1), ("second", 2)]
+
+    def test_len_tracks_items(self, env):
+        queue = Queue(env)
+        assert len(queue) == 0
+        queue.put("x")
+        assert len(queue) == 1
+
+    def test_try_get(self, env):
+        queue = Queue(env)
+        assert queue.try_get() is None
+        queue.put(7)
+        assert queue.try_get() == 7
+        assert queue.try_get() is None
+
+    def test_drain(self, env):
+        queue = Queue(env)
+        for item in range(3):
+            queue.put(item)
+        assert queue.drain() == [0, 1, 2]
+        assert len(queue) == 0
+
+
+class TestQueueClose:
+    def test_put_after_close_rejected(self, env):
+        queue = Queue(env)
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put("x")
+
+    def test_close_fails_waiting_getter(self, env):
+        queue = Queue(env)
+        caught = []
+
+        def consumer():
+            try:
+                yield queue.get()
+            except QueueClosed:
+                caught.append(True)
+
+        env.process(consumer())
+
+        def closer():
+            yield env.timeout(1)
+            queue.close()
+
+        env.process(closer())
+        env.run()
+        assert caught == [True]
+
+    def test_get_after_close_fails(self, env):
+        queue = Queue(env)
+        queue.close()
+        caught = []
+
+        def consumer():
+            try:
+                yield queue.get()
+            except QueueClosed:
+                caught.append(True)
+
+        env.process(consumer())
+        env.run()
+        assert caught == [True]
+
+    def test_double_close_is_noop(self, env):
+        queue = Queue(env)
+        queue.close()
+        queue.close()
+        assert queue.closed

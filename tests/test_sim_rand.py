@@ -1,0 +1,54 @@
+"""Tests for the seeded-randomness helpers."""
+
+import random
+
+import pytest
+
+from repro.sim.rand import bounded_normal, exponential, make_rng, spawn
+
+
+class TestMakeRng:
+    def test_from_int_deterministic(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_passthrough_rng(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_fresh(self):
+        assert isinstance(make_rng(None), random.Random)
+
+
+class TestSpawn:
+    def test_children_deterministic_given_parent_seed(self):
+        first = spawn(make_rng(1), "net").random()
+        second = spawn(make_rng(1), "net").random()
+        assert first == second
+
+    def test_labels_give_distinct_streams(self):
+        parent = make_rng(1)
+        a = spawn(parent, "a")
+        parent2 = make_rng(1)
+        b = spawn(parent2, "b")
+        assert a.random() != b.random()
+
+
+class TestDistributions:
+    def test_exponential_mean(self):
+        rng = make_rng(3)
+        samples = [exponential(rng, 2.0) for _ in range(5000)]
+        assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.1)
+
+    def test_exponential_zero_mean(self):
+        assert exponential(make_rng(0), 0.0) == 0.0
+
+    def test_bounded_normal_clamps(self):
+        rng = make_rng(4)
+        for _ in range(1000):
+            value = bounded_normal(rng, 0.0, 10.0, minimum=-1.0, maximum=1.0)
+            assert -1.0 <= value <= 1.0
+
+    def test_bounded_normal_tracks_mean(self):
+        rng = make_rng(5)
+        samples = [bounded_normal(rng, 5.0, 0.5) for _ in range(2000)]
+        assert sum(samples) / len(samples) == pytest.approx(5.0, abs=0.1)
