@@ -1,0 +1,276 @@
+"""Protocol-layering rules (DPR-P01..P03).
+
+These are the static counterparts of the runtime checks in
+:mod:`repro.core.audit`: they cannot prove the §4.3 invariants hold at
+runtime, but they can prove the *code shape* that makes the runtime
+argument sound — every wire message has a handler, protocol-private
+bookkeeping is only touched through the owning class's accessors, and
+StateObject subclasses cannot bypass the version machinery that the
+dirty-seal invariant and monotonicity proofs rely on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.framework import (
+    Finding,
+    ModuleInfo,
+    Project,
+    ProjectRule,
+    register,
+)
+
+#: Where the wire messages live and which module must dispatch them.
+MESSAGES_MODULE = "repro.cluster.messages"
+HANDLER_MODULE = "repro.cluster.worker"
+
+#: Modules whose private attributes form the DPR bookkeeping surface.
+PROTOCOL_STATE_MODULES = (
+    "repro.core.state_object",
+    "repro.core.precedence",
+    "repro.core.finder.base",
+)
+
+#: The base class whose version machinery subclasses must not bypass.
+STATE_OBJECT_MODULE = "repro.core.state_object"
+STATE_OBJECT_CLASS = "StateObject"
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+@register
+class MessageExhaustivenessRule(ProjectRule):
+    """DPR-P01: every message dataclass is dispatched by the worker.
+
+    Adding a payload to ``cluster/messages.py`` without teaching
+    ``cluster/worker.py`` about it means the message is silently dropped
+    by the dispatch loop — the classic way a protocol extension rots.
+    The check is by name reference: the worker must mention the class
+    (an ``isinstance`` dispatch arm, a construction site, or an explicit
+    routing comment is not enough — it must appear in code).
+    """
+
+    id = "DPR-P01"
+    title = "message dataclass without a worker dispatch handler"
+    scope = ("repro.cluster",)
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        messages = project.get(MESSAGES_MODULE)
+        handler = project.get(HANDLER_MODULE)
+        if messages is None or handler is None:
+            return
+        referenced: Set[str] = set()
+        for node in ast.walk(handler.tree):
+            if isinstance(node, ast.Name):
+                referenced.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                referenced.add(node.attr)
+        for node in messages.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_dataclass_decorated(node):
+                continue
+            if node.name not in referenced:
+                yield messages.finding(
+                    self, node,
+                    f"message dataclass {node.name} is never referenced in "
+                    f"{HANDLER_MODULE} — add a dispatch arm (or construction "
+                    f"site) so the worker cannot silently drop it",
+                )
+
+
+def _private_attrs_of_class(node: ast.ClassDef) -> Set[str]:
+    """Names assigned as ``self._x`` anywhere in the class body."""
+    attrs: Set[str] = set()
+    for sub in ast.walk(node):
+        if (isinstance(sub, ast.Attribute)
+                and isinstance(sub.ctx, ast.Store)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+                and sub.attr.startswith("_")
+                and not sub.attr.startswith("__")):
+            attrs.add(sub.attr)
+    return attrs
+
+
+def _self_or_cls(node: ast.AST) -> bool:
+    return isinstance(node, ast.Name) and node.id in ("self", "cls")
+
+
+@register
+class PrivateStateAccessRule(ProjectRule):
+    """DPR-P02: protocol-private state is touched only by its owner.
+
+    ``_sealed``, ``_descriptors``, ``_persisted_versions`` and friends
+    encode the proof obligations of §4.3; external readers must go
+    through public accessors (``sealed_descriptors()``,
+    ``persisted_versions()``, ...) so refactors of the bookkeeping
+    cannot silently break auditors and workers.
+    """
+
+    id = "DPR-P02"
+    title = "cross-module access to protocol-private state"
+    scope = ("repro",)
+
+    def _registry(self, project: Project) -> Dict[str, Set[str]]:
+        """Private attr name -> modules allowed to touch it."""
+        registry: Dict[str, Set[str]] = {}
+        for module_name in PROTOCOL_STATE_MODULES:
+            module = project.get(module_name)
+            if module is None:
+                continue
+            for node in module.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                for attr in _private_attrs_of_class(node):
+                    registry.setdefault(attr, set()).add(module_name)
+        return registry
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        registry = self._registry(project)
+        if not registry:
+            return
+        for module in project.in_scope(self.scope):
+            allowed_here = {attr for attr, owners in registry.items()
+                            if module.module in owners}
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Attribute):
+                    attr = node.attr
+                    if (attr in registry and attr not in allowed_here
+                            and not _self_or_cls(node.value)):
+                        yield module.finding(
+                            self, node,
+                            f"access to protocol-private attribute "
+                            f".{attr} (owned by "
+                            f"{', '.join(sorted(registry[attr]))}) — use a "
+                            f"public accessor",
+                        )
+                elif (isinstance(node, ast.Call)
+                      and isinstance(node.func, ast.Name)
+                      and node.func.id in ("getattr", "setattr", "hasattr",
+                                           "delattr")
+                      and len(node.args) >= 2
+                      and isinstance(node.args[1], ast.Constant)
+                      and isinstance(node.args[1].value, str)):
+                    attr = node.args[1].value
+                    if attr in registry and attr not in allowed_here:
+                        yield module.finding(
+                            self, node,
+                            f"{node.func.id}(..., {attr!r}) reaches into "
+                            f"protocol-private state (owned by "
+                            f"{', '.join(sorted(registry[attr]))}) — use a "
+                            f"public accessor",
+                        )
+
+
+_MUTATOR_METHODS = {
+    "append", "add", "clear", "discard", "extend", "insert", "pop",
+    "popitem", "remove", "update", "setdefault",
+}
+
+
+@register
+class SubclassStateMutationRule(ProjectRule):
+    """DPR-P03: StateObject subclasses route version changes through
+    the base ``Commit``/``Restore`` hooks.
+
+    The dirty-seal invariant and the monotonicity proof both live in
+    ``seal_version``/``fast_forward``/``restore``; a subclass writing
+    ``self._version`` (or editing ``self._sealed`` directly) can violate
+    them without any test noticing until a recovery loses data.
+    """
+
+    id = "DPR-P03"
+    title = "StateObject subclass mutates protocol version state"
+    scope = ("repro",)
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        base_module = project.get(STATE_OBJECT_MODULE)
+        if base_module is None:
+            return
+        base_class: Optional[ast.ClassDef] = None
+        for node in base_module.tree.body:
+            if (isinstance(node, ast.ClassDef)
+                    and node.name == STATE_OBJECT_CLASS):
+                base_class = node
+                break
+        if base_class is None:
+            return
+        protected = _private_attrs_of_class(base_class)
+        subclass_names = self._descendants(project)
+        for module in project.in_scope(self.scope):
+            for node in ast.walk(module.tree):
+                if (isinstance(node, ast.ClassDef)
+                        and node.name in subclass_names):
+                    yield from self._check_class(module, node, protected)
+
+    def _descendants(self, project: Project) -> Set[str]:
+        """Class names transitively inheriting StateObject (by name)."""
+        bases_of: Dict[str, List[str]] = {}
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    names = []
+                    for base in node.bases:
+                        if isinstance(base, ast.Name):
+                            names.append(base.id)
+                        elif isinstance(base, ast.Attribute):
+                            names.append(base.attr)
+                    bases_of.setdefault(node.name, []).extend(names)
+        descendants: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, bases in bases_of.items():
+                if name in descendants or name == STATE_OBJECT_CLASS:
+                    continue
+                if any(base == STATE_OBJECT_CLASS or base in descendants
+                       for base in bases):
+                    descendants.add(name)
+                    changed = True
+        return descendants
+
+    def _check_class(self, module: ModuleInfo, node: ast.ClassDef,
+                     protected: Set[str]) -> Iterator[Finding]:
+        for sub in ast.walk(node):
+            # self._version = ..., del self._sealed[v], self._dirty += ...
+            if (isinstance(sub, ast.Attribute)
+                    and isinstance(sub.ctx, (ast.Store, ast.Del))
+                    and _self_or_cls(sub.value)
+                    and sub.attr in protected):
+                yield self._finding(module, sub, node.name, sub.attr)
+            # self._sealed[v] = ... / del self._persisted_versions[i]
+            elif (isinstance(sub, ast.Subscript)
+                  and isinstance(sub.ctx, (ast.Store, ast.Del))
+                  and isinstance(sub.value, ast.Attribute)
+                  and _self_or_cls(sub.value.value)
+                  and sub.value.attr in protected):
+                yield self._finding(module, sub, node.name, sub.value.attr)
+            # self._pending_deps.clear(), self._sealed.pop(...)
+            elif (isinstance(sub, ast.Call)
+                  and isinstance(sub.func, ast.Attribute)
+                  and sub.func.attr in _MUTATOR_METHODS
+                  and isinstance(sub.func.value, ast.Attribute)
+                  and _self_or_cls(sub.func.value.value)
+                  and sub.func.value.attr in protected):
+                yield self._finding(module, sub, node.name,
+                                    sub.func.value.attr)
+
+    def _finding(self, module: ModuleInfo, node: ast.AST, class_name: str,
+                 attr: str) -> Finding:
+        return module.finding(
+            self, node,
+            f"subclass {class_name} mutates StateObject.{attr} directly — "
+            f"route version changes through seal_version()/commit()/"
+            f"restore()/mark_persisted()",
+        )

@@ -10,12 +10,19 @@ from typing import Dict, List, Optional, Tuple
 from repro.sim.rand import make_rng
 
 
+#: Default seed for reservoir replacement.  Measurement machinery must
+#: be reproducible too: an OS-seeded RNG here makes p50/p99 vary run to
+#: run once ``count`` exceeds ``capacity``, even though the observation
+#: stream itself is deterministic.
+_RESERVOIR_SEED = 2021
+
+
 class Reservoir:
     """Fixed-size uniform reservoir sample of latency observations."""
 
     def __init__(self, capacity: int = 20000, rng=None):
         self.capacity = capacity
-        self._rng = make_rng(rng)
+        self._rng = make_rng(_RESERVOIR_SEED if rng is None else rng)
         self._samples: List[float] = []
         self.count = 0
 

@@ -307,7 +307,7 @@ class DFasterWorker:
         while True:
             descriptor, done = yield self._flush_queue.get()
             version = descriptor.token.version
-            if version not in getattr(self.engine, "_sealed", {version: None}):
+            if not self.engine.is_sealed(version):
                 # A rollback dropped this sealed version before its
                 # flush ran; nothing to persist.
                 if done is not None and not done.triggered:
@@ -323,7 +323,7 @@ class DFasterWorker:
                     done.succeed()
                 continue
             self._flushing = False
-            if version in getattr(self.engine, "_sealed", {}):
+            if self.engine.is_sealed(version):
                 self.engine.mark_persisted(version)
                 if self.dpr_enabled and self.finder_address:
                     self.net.send(

@@ -32,8 +32,8 @@ class InvariantViolation(AssertionError):
 def audit_monotonicity(objects: Mapping[str, StateObject]) -> None:
     """No sealed version may depend on a strictly larger version."""
     for name, obj in objects.items():
-        for version, descriptor in obj._sealed.items():
-            for dep in descriptor.deps:
+        for version, descriptor in sorted(obj.sealed_descriptors().items()):
+            for dep in sorted(descriptor.deps):
                 if dep.version > version:
                     raise InvariantViolation(
                         f"monotonicity: {name}-{version} depends on the "
@@ -69,10 +69,10 @@ def audit_cut(finder: DprFinder,
             raise InvariantViolation(
                 f"cut durability: {name} bookkeeping is inconsistent"
             )
-        for version, descriptor in obj._sealed.items():
+        for version, descriptor in sorted(obj.sealed_descriptors().items()):
             if version > position:
                 continue
-            for dep in descriptor.deps:
+            for dep in sorted(descriptor.deps):
                 if cut.version_of(dep.object_id) < dep.version:
                     raise InvariantViolation(
                         f"cut closure: {name}-{version} is covered by "

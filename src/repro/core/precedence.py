@@ -53,7 +53,7 @@ class PrecedenceGraph:
         if token in self._descriptors:
             raise ValueError(f"duplicate commit for {token}")
         if self._enforce:
-            for dep in descriptor.deps:
+            for dep in sorted(descriptor.deps):
                 if dep.version > token.version:
                     raise MonotonicityViolation(
                         f"{token} depends on larger version {dep}"
@@ -161,7 +161,7 @@ class PrecedenceGraph:
             descriptor = self._descriptors.get(token)
             if descriptor is None:
                 continue
-            for dep in descriptor.deps:
+            for dep in sorted(descriptor.deps):
                 resolved = self._resolve_dep(dep)
                 if resolved is not None and resolved not in seen:
                     frontier.append(resolved)

@@ -277,6 +277,18 @@ class StateObject(abc.ABC):
     def sealed_descriptor(self, version: int) -> CommitDescriptor:
         return self._sealed[version]
 
+    def sealed_descriptors(self) -> Dict[int, CommitDescriptor]:
+        """Snapshot of every sealed version's descriptor, by version.
+
+        The public read surface for auditors and owners — external code
+        must not reach into ``_sealed`` (enforced by dprlint DPR-P02).
+        """
+        return dict(self._sealed)
+
+    def is_sealed(self, version: int) -> bool:
+        """Whether ``version`` was sealed and not dropped by a restore."""
+        return version in self._sealed
+
     # -- Restore() -------------------------------------------------------------
 
     def restore(self, version: int, *, world_line: Optional[int] = None,

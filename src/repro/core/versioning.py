@@ -79,7 +79,7 @@ def merge_dependencies(deps: FrozenSet[Token]) -> FrozenSet[Token]:
     ``A-3`` is the same as depending on ``A-3`` alone.
     """
     strongest: Dict[str, int] = {}
-    for token in deps:
+    for token in sorted(deps):
         current = strongest.get(token.object_id)
         if current is None or token.version > current:
             strongest[token.object_id] = token.version

@@ -1,0 +1,544 @@
+"""dprlint: per-rule good/bad fixtures, suppressions, baseline, CLI.
+
+Every rule gets at least one fixture that must trigger it and one that
+must stay clean.  Fixture trees are laid out as real ``repro.*``
+packages under a tmp dir so the module-scoping logic (protocol packages
+vs. the bench allowlist) is exercised, not bypassed.  The CLI tests at
+the bottom are the acceptance criteria: the shipped tree lints clean,
+and injecting a wall-clock call, an unsorted-set iteration, or an
+unhandled message dataclass makes ``python -m repro.analysis`` fail.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis import run_lint
+from repro.analysis.framework import (
+    all_rules,
+    load_baseline,
+    module_name_for,
+    write_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def write_tree(root, files):
+    """Write fixture files, creating ``__init__.py`` package chains."""
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content), encoding="utf-8")
+        parent = path.parent
+        while parent != root:
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("", encoding="utf-8")
+            parent = parent.parent
+
+
+def lint_fixture(tmp_path, files, **kwargs):
+    write_tree(tmp_path, files)
+    return run_lint([str(tmp_path)], **kwargs)
+
+
+def rules_found(findings):
+    return {finding.rule for finding in findings}
+
+
+def run_cli(args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis"] + args,
+        capture_output=True, text=True, env=env, cwd=str(cwd),
+    )
+
+
+class TestFramework:
+    def test_module_names_resolve_through_package_chain(self, tmp_path):
+        write_tree(tmp_path, {"repro/core/probe.py": "x = 1\n"})
+        assert module_name_for(tmp_path / "repro/core/probe.py") == \
+            "repro.core.probe"
+
+    def test_syntax_error_is_reported_not_fatal(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/core/broken.py": "def f(:\n",
+        })
+        assert rules_found(findings) == {"DPR-E01"}
+
+    def test_line_suppression(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/core/clock.py": """\
+                import time
+
+                def stamp():
+                    return time.time()  # dprlint: disable=DPR-D01
+            """,
+        })
+        assert "DPR-D01" not in rules_found(findings)
+
+    def test_file_suppression(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/core/clock.py": """\
+                # dprlint: disable-file=DPR-D01
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+        })
+        assert "DPR-D01" not in rules_found(findings)
+
+    def test_baseline_suppresses_recorded_findings(self, tmp_path):
+        files = {
+            "repro/core/clock.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+        }
+        first = lint_fixture(tmp_path, files)
+        assert rules_found(first) == {"DPR-D01"}
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), first)
+        fingerprints = load_baseline(str(baseline_path))
+        again = run_lint([str(tmp_path)], baseline=fingerprints)
+        assert again == []
+
+    def test_select_and_ignore(self, tmp_path):
+        files = {
+            "repro/core/multi.py": """\
+                import time
+
+                def f(acc=[]):
+                    acc.append(time.time())
+                    return acc
+            """,
+        }
+        write_tree(tmp_path, files)
+        only_clock = run_lint([str(tmp_path)], select=["DPR-D01"])
+        assert rules_found(only_clock) == {"DPR-D01"}
+        no_clock = run_lint([str(tmp_path)], ignore=["DPR-D01"])
+        assert "DPR-D01" not in rules_found(no_clock)
+        assert "DPR-H01" in rules_found(no_clock)
+
+    def test_rule_catalog_is_complete(self):
+        expected = {
+            "DPR-D01", "DPR-D02", "DPR-D03",
+            "DPR-P01", "DPR-P02", "DPR-P03",
+            "DPR-H01", "DPR-H02", "DPR-H03",
+        }
+        assert {rule.id for rule in all_rules()} == expected
+
+
+class TestDeterminismRules:
+    def test_d01_flags_wall_clock_and_global_random(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/core/bad.py": """\
+                import os
+                import random
+                import time
+                from datetime import datetime
+
+                def noisy():
+                    return (time.time(), datetime.now(), os.urandom(8),
+                            random.randint(0, 9))
+            """,
+        })
+        d01 = [f for f in findings if f.rule == "DPR-D01"]
+        assert len(d01) == 4
+
+    def test_d01_allows_seeded_rng_and_sim_clock(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/core/good.py": """\
+                import random
+
+                def sample(env):
+                    rng = random.Random(42)
+                    return env.now + rng.random()
+            """,
+        })
+        assert "DPR-D01" not in rules_found(findings)
+
+    def test_d01_monotonic_timer_banned_in_protocol_code(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/core/timer.py": """\
+                import time
+
+                def elapsed(start):
+                    return time.perf_counter() - start
+            """,
+        })
+        assert "DPR-D01" in rules_found(findings)
+
+    def test_d01_bench_allowlist_permits_monotonic_timer(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/bench/timer.py": """\
+                import time
+
+                def elapsed(start):
+                    return time.perf_counter() - start
+            """,
+        })
+        assert "DPR-D01" not in rules_found(findings)
+
+    def test_d01_bench_still_cannot_use_wall_clock(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/bench/wall.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+        })
+        assert "DPR-D01" in rules_found(findings)
+
+    def test_d02_flags_set_param_iteration(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/core/closure.py": """\
+                def closure(deps: frozenset):
+                    out = []
+                    for dep in deps:
+                        out.append(dep)
+                    return out
+            """,
+        })
+        assert "DPR-D02" in rules_found(findings)
+
+    def test_d02_tracks_set_fields_across_modules(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/core/kinds.py": """\
+                from dataclasses import dataclass
+                from typing import FrozenSet
+
+                @dataclass(frozen=True)
+                class Descriptor:
+                    deps: FrozenSet[str] = frozenset()
+            """,
+            "repro/cluster/uses.py": """\
+                def first_deps(descriptor):
+                    return [dep for dep in descriptor.deps]
+            """,
+        })
+        d02 = [f for f in findings if f.rule == "DPR-D02"]
+        assert len(d02) == 1
+        assert "uses.py" in d02[0].path
+
+    def test_d02_sorted_iteration_and_aggregates_are_clean(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/core/ok.py": """\
+                def closure(deps: frozenset):
+                    biggest = max(dep for dep in deps)
+                    present = any(dep for dep in deps)
+                    ordered = [dep for dep in sorted(deps)]
+                    return biggest, present, ordered
+            """,
+        })
+        assert "DPR-D02" not in rules_found(findings)
+
+    def test_d02_does_not_apply_outside_protocol_packages(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/workloads/ok.py": """\
+                def spread(keys: set):
+                    return [key for key in keys]
+            """,
+        })
+        assert "DPR-D02" not in rules_found(findings)
+
+    def test_d03_flags_sleep_open_and_sockets(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/sim/bad.py": """\
+                import socket
+                import time
+
+                def process(env):
+                    time.sleep(0.1)
+                    handle = open("/tmp/x")
+                    conn = socket.socket()
+                    return handle, conn
+            """,
+        })
+        d03 = [f for f in findings if f.rule == "DPR-D03"]
+        assert len(d03) == 3
+
+    def test_d03_sim_primitives_are_clean(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/sim/good.py": """\
+                def process(env, device):
+                    yield env.timeout(0.1)
+                    yield device.write(4096)
+            """,
+        })
+        assert "DPR-D03" not in rules_found(findings)
+
+
+PROTOCOL_FIXTURE = {
+    # A miniature repro.core.state_object so P02/P03 registries resolve.
+    "repro/core/state_object.py": """\
+        class StateObject:
+            def __init__(self):
+                self._version = 1
+                self._sealed = {}
+
+            def seal_version(self):
+                self._sealed[self._version] = object()
+                self._version += 1
+
+            def sealed_descriptors(self):
+                return dict(self._sealed)
+    """,
+}
+
+
+class TestProtocolRules:
+    def test_p01_flags_unhandled_message_dataclass(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/cluster/messages.py": """\
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class Known:
+                    x: int
+
+                @dataclass(frozen=True)
+                class Orphan:
+                    y: int
+            """,
+            "repro/cluster/worker.py": """\
+                from repro.cluster.messages import Known
+
+                def dispatch(payload):
+                    if isinstance(payload, Known):
+                        return "ok"
+            """,
+        })
+        p01 = [f for f in findings if f.rule == "DPR-P01"]
+        assert len(p01) == 1
+        assert "Orphan" in p01[0].message
+
+    def test_p01_all_messages_handled_is_clean(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/cluster/messages.py": """\
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class Known:
+                    x: int
+            """,
+            "repro/cluster/worker.py": """\
+                from repro.cluster.messages import Known
+
+                def dispatch(payload):
+                    if isinstance(payload, Known):
+                        return "ok"
+            """,
+        })
+        assert "DPR-P01" not in rules_found(findings)
+
+    def test_p02_flags_cross_module_private_access(self, tmp_path):
+        files = dict(PROTOCOL_FIXTURE)
+        files["repro/cluster/probe.py"] = """\
+            def peek(engine):
+                return engine._sealed
+        """
+        findings = lint_fixture(tmp_path, files)
+        assert "DPR-P02" in rules_found(findings)
+
+    def test_p02_flags_getattr_string_probe(self, tmp_path):
+        files = dict(PROTOCOL_FIXTURE)
+        files["repro/cluster/probe.py"] = """\
+            def peek(engine):
+                return getattr(engine, "_sealed", {})
+        """
+        findings = lint_fixture(tmp_path, files)
+        assert "DPR-P02" in rules_found(findings)
+
+    def test_p02_accessor_and_owner_module_are_clean(self, tmp_path):
+        files = dict(PROTOCOL_FIXTURE)
+        files["repro/cluster/probe.py"] = """\
+            def peek(engine):
+                return engine.sealed_descriptors()
+        """
+        findings = lint_fixture(tmp_path, files)
+        assert "DPR-P02" not in rules_found(findings)
+
+    def test_p03_flags_subclass_writing_version_state(self, tmp_path):
+        files = dict(PROTOCOL_FIXTURE)
+        files["repro/faster/hacky.py"] = """\
+            from repro.core.state_object import StateObject
+
+            class HackyStore(StateObject):
+                def skip_ahead(self):
+                    self._version = 99
+                    self._sealed.clear()
+        """
+        findings = lint_fixture(tmp_path, files)
+        p03 = [f for f in findings if f.rule == "DPR-P03"]
+        assert len(p03) == 2
+
+    def test_p03_subclass_using_hooks_is_clean(self, tmp_path):
+        files = dict(PROTOCOL_FIXTURE)
+        files["repro/faster/good.py"] = """\
+            from repro.core.state_object import StateObject
+
+            class GoodStore(StateObject):
+                def checkpoint(self):
+                    self.seal_version()
+                    return self.sealed_descriptors()
+        """
+        findings = lint_fixture(tmp_path, files)
+        assert "DPR-P03" not in rules_found(findings)
+
+
+class TestHygieneRules:
+    def test_h01_mutable_default(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/util.py": """\
+                def collect(item, acc=[]):
+                    acc.append(item)
+                    return acc
+
+                def safe(item, acc=None):
+                    acc = list(acc or ())
+                    acc.append(item)
+                    return acc
+            """,
+        })
+        h01 = [f for f in findings if f.rule == "DPR-H01"]
+        assert len(h01) == 1
+
+    def test_h02_bare_and_swallowing_excepts(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/util.py": """\
+                def swallow(fn):
+                    try:
+                        fn()
+                    except:
+                        pass
+                    try:
+                        fn()
+                    except Exception:
+                        return None
+                    try:
+                        fn()
+                    except Exception:
+                        raise
+                    try:
+                        fn()
+                    except ValueError:
+                        return None
+            """,
+        })
+        h02 = [f for f in findings if f.rule == "DPR-H02"]
+        assert len(h02) == 2
+
+    def test_h03_shadowed_builtin_parameter_and_assignment(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/util.py": """\
+                def pick(list):
+                    hash = 7
+                    return list, hash
+            """,
+        })
+        h03 = [f for f in findings if f.rule == "DPR-H03"]
+        assert len(h03) == 2
+
+    def test_h03_class_attributes_and_methods_exempt(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/util.py": """\
+                class Commands:
+                    id = "redis"
+
+                    def set(self, key, value):
+                        return (key, value)
+
+                    def get(self, key):
+                        return key
+            """,
+        })
+        assert "DPR-H03" not in rules_found(findings)
+
+
+class TestCli:
+    def test_shipped_tree_is_clean(self):
+        """Tier-1 acceptance: ``python -m repro.analysis src`` exits 0."""
+        result = run_cli(["src"])
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "clean" in result.stdout
+
+    def test_json_format(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/core/clock.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+        })
+        result = run_cli(["--format", "json", str(tmp_path)])
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload[0]["rule"] == "DPR-D01"
+
+    def test_list_rules(self):
+        result = run_cli(["--list-rules"])
+        assert result.returncode == 0
+        for rule_id in ("DPR-D01", "DPR-P01", "DPR-H03"):
+            assert rule_id in result.stdout
+
+    def test_unknown_rule_id_is_usage_error(self):
+        result = run_cli(["--select", "DPR-XX", "src"])
+        assert result.returncode == 2
+
+    def _copy_src(self, tmp_path):
+        target = tmp_path / "src"
+        shutil.copytree(SRC, target)
+        return target
+
+    def test_injected_wall_clock_fails(self, tmp_path):
+        target = self._copy_src(tmp_path)
+        victim = target / "repro/core/precedence.py"
+        victim.write_text(
+            victim.read_text(encoding="utf-8")
+            + "\n\nimport time\n\n\ndef _injected_stamp():\n"
+              "    return time.time()\n",
+            encoding="utf-8",
+        )
+        result = run_cli([str(target)])
+        assert result.returncode == 1
+        assert "DPR-D01" in result.stdout
+
+    def test_injected_unsorted_set_iteration_fails(self, tmp_path):
+        target = self._copy_src(tmp_path)
+        victim = target / "repro/core/precedence.py"
+        victim.write_text(
+            victim.read_text(encoding="utf-8")
+            + "\n\ndef _injected_closure(deps: frozenset):\n"
+              "    return [dep for dep in deps]\n",
+            encoding="utf-8",
+        )
+        result = run_cli([str(target)])
+        assert result.returncode == 1
+        assert "DPR-D02" in result.stdout
+
+    def test_injected_unhandled_message_fails(self, tmp_path):
+        target = self._copy_src(tmp_path)
+        victim = target / "repro/cluster/messages.py"
+        victim.write_text(
+            victim.read_text(encoding="utf-8")
+            + "\n\n@dataclass(frozen=True)\nclass InjectedProbe:\n"
+              "    flag: int = 0\n",
+            encoding="utf-8",
+        )
+        result = run_cli([str(target)])
+        assert result.returncode == 1
+        assert "DPR-P01" in result.stdout
+        assert "InjectedProbe" in result.stdout

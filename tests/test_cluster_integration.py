@@ -18,10 +18,24 @@ from repro.baselines import (
 from repro.cluster import DFasterCluster, DFasterConfig
 from repro.cluster.dredis import DRedisCluster, DRedisConfig, RedisMode
 from repro.cluster.messages import BatchRequest
+from repro.core.audit import audit_deployment
 from repro.workloads import ycsb
 
 SMALL = dict(n_workers=2, vcpus=2, n_client_machines=1, client_threads=2,
              batch_size=32, checkpoint_interval=0.05)
+
+
+def assert_audit_clean(cluster):
+    """End-of-scenario DPR invariant audit over every live engine.
+
+    Uses the public ``sealed_descriptors()`` read surface; the runtime
+    counterpart of the static dprlint checks (docs/ANALYSIS.md).
+    """
+    shards = getattr(cluster, "workers", None) or cluster.proxies
+    passed = audit_deployment(
+        cluster.finder, {shard.address: shard.engine for shard in shards})
+    assert passed == ["monotonicity", "durability-order", "cut",
+                      "world-lines"]
 
 
 class TestDFasterModeled:
@@ -31,6 +45,7 @@ class TestDFasterModeled:
         assert stats.throughput(start=0.1, end=0.4, duration=0.3) > 0
         committed = sum(c.total_committed() for c in cluster.clients)
         assert committed > 0
+        assert_audit_clean(cluster)
 
     def test_no_commits_without_checkpoints(self):
         cluster = DFasterCluster(DFasterConfig(
@@ -59,6 +74,7 @@ class TestDFasterModeled:
         # Post-recovery the cluster keeps completing operations.
         series = dict(stats.completed.series(0.1))
         assert series.get(0.4, 0) > 0
+        assert_audit_clean(cluster)
 
     def test_recovery_records_bounded_duration(self):
         cluster = DFasterCluster(DFasterConfig(**SMALL))
@@ -79,12 +95,14 @@ class TestDFasterModeled:
                    for r in cluster.manager.recoveries)
         # DPR progress resumed after the nested recovery.
         assert not cluster.finder.halted
+        assert_audit_clean(cluster)
 
     @pytest.mark.parametrize("finder", ["exact", "approximate", "hybrid"])
     def test_all_finders_drive_commits(self, finder):
         cluster = DFasterCluster(DFasterConfig(finder=finder, **SMALL))
         cluster.run(0.4, warmup=0.1)
         assert sum(c.total_committed() for c in cluster.clients) > 0
+        assert_audit_clean(cluster)
 
     def test_colocated_mode_runs(self):
         cluster = DFasterCluster(DFasterConfig(
@@ -161,6 +179,7 @@ class TestDFasterFunctional:
         engine = cluster.workers[0].engine
         assert engine.get("a") == "durable"
         assert engine.world_line.current == 1
+        assert_audit_clean(cluster)
 
 
 class TestDRedis:
@@ -179,6 +198,7 @@ class TestDRedis:
         cluster.run(0.4, warmup=0.05)
         committed = sum(c.total_committed() for c in cluster.clients)
         assert committed > 0
+        assert_audit_clean(cluster)
 
     def test_dpr_failure_recovery(self):
         cluster = DRedisCluster(DRedisConfig(
@@ -191,6 +211,7 @@ class TestDRedis:
         assert aborted >= 0  # rollback happened without deadlock
         assert cluster.manager.controller.world_line == 1
         assert not cluster.finder.halted
+        assert_audit_clean(cluster)
 
     def test_failure_requires_dpr_mode(self):
         cluster = DRedisCluster(DRedisConfig(mode=RedisMode.PLAIN))

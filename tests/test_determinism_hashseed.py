@@ -1,0 +1,61 @@
+"""Cluster simulation is byte-identical across PYTHONHASHSEED values.
+
+Set and frozenset iteration order depends on the interpreter's hash
+randomization; dprlint DPR-D02 bans unsorted iteration over set-typed
+state in the protocol packages precisely so this test can pass.  Two
+fresh interpreters with different hash seeds run the same failure
+scenario and must print the same stats JSON, byte for byte.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SCENARIO = textwrap.dedent(
+    """
+    import json
+
+    from repro.cluster import DFasterCluster, DFasterConfig
+
+    cluster = DFasterCluster(DFasterConfig(
+        n_workers=2, vcpus=2, n_client_machines=1, client_threads=2,
+        batch_size=32, checkpoint_interval=0.05, seed=99, finder="exact"))
+    cluster.schedule_failure(0.15)
+    stats = cluster.run(0.35, warmup=0.05)
+    summary = {
+        "committed": sum(c.total_committed() for c in cluster.clients),
+        "aborted": sum(c.total_aborted() for c in cluster.clients),
+        "cut": str(cluster.finder.current_cut()),
+        "world_line": cluster.manager.controller.world_line,
+        "completed": stats.completed.series(0.05),
+    }
+    print(json.dumps(summary, sort_keys=True))
+    """
+)
+
+
+def run_with_hashseed(seed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(seed)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-c", SCENARIO],
+        capture_output=True, text=True, env=env, cwd=str(REPO_ROOT),
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_stats_identical_across_hash_seeds():
+    first = run_with_hashseed(1)
+    second = run_with_hashseed(777)
+    assert first == second
+    summary = json.loads(first)
+    assert summary["committed"] > 0
+    assert summary["world_line"] == 1
