@@ -274,3 +274,40 @@ class SubclassStateMutationRule(ProjectRule):
             f"route version changes through seal_version()/commit()/"
             f"restore()/mark_persisted()",
         )
+
+
+@register
+class DirectInboxDeliveryRule(ProjectRule):
+    """DPR-P04: cluster-layer code sends through ``Network.send``.
+
+    Putting a message straight into a peer's ``inbox`` queue bypasses
+    the network model entirely — no latency, no crash semantics, and no
+    fault injection.  A message delivered that way can never be dropped,
+    duplicated, reordered, or partitioned, so chaos tests silently stop
+    covering that path.  Only :mod:`repro.sim.network` itself may touch
+    inbox queues; everything in ``repro.cluster`` goes through
+    ``Network.send``.
+    """
+
+    id = "DPR-P04"
+    title = "direct inbox delivery bypassing Network.send"
+    scope = ("repro.cluster",)
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for module in project.in_scope(self.scope):
+            for node in ast.walk(module.tree):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "put"):
+                    continue
+                receiver = node.func.value
+                if ((isinstance(receiver, ast.Attribute)
+                     and receiver.attr == "inbox")
+                        or (isinstance(receiver, ast.Name)
+                            and receiver.id == "inbox")):
+                    yield module.finding(
+                        self, node,
+                        "message put directly into an endpoint inbox — "
+                        "send through Network.send so latency, crash "
+                        "semantics, and fault injection apply",
+                    )

@@ -7,6 +7,13 @@ an 8-machine cluster.  Sessions do full DPR bookkeeping at batch
 granularity (exactly the granularity libDPR itself works at): the
 ``Vs`` scalar, dependency headers, commit tracking against piggybacked
 cuts, and world-line failure handling with abort accounting.
+
+Clients assume only at-least-once delivery from the network: a RETRY
+reply backs off exponentially with seeded jitter before re-issuing, an
+abandoned (timed-out) batch whose reply eventually straggles in is
+reconciled back into the completed counts, and batch ids are allocated
+per client machine so concurrent clusters in one process never share a
+counter.
 """
 
 from __future__ import annotations
@@ -39,14 +46,31 @@ class BatchRecord:
     completed_at: Optional[float] = None
 
 
+class BatchIds:
+    """Monotonic batch-id allocator, scoped to one client machine.
+
+    Batch ids only need to be unique within the (session, worker)
+    conversations of a single machine; a process-global counter would
+    leak allocation state across independently seeded cluster
+    instances and break run-to-run determinism.
+    """
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def allocate(self) -> int:
+        self._next += 1
+        return self._next
+
+
 class BatchSession:
     """Client-side DPR session operating at batch granularity."""
 
-    _next_batch_id = 0
-
-    def __init__(self, session_id: str, stats: ClusterStats):
+    def __init__(self, session_id: str, stats: ClusterStats,
+                 ids: Optional[BatchIds] = None):
         self.session_id = session_id
         self.stats = stats
+        self._ids = ids if ids is not None else BatchIds()
         self.world_line = 0
         #: Vs — the largest version seen (§3.2).
         self.version_scalar = 0
@@ -58,17 +82,25 @@ class BatchSession:
         self.outstanding_ops = 0
         self.committed_ops = 0
         self.aborted_ops = 0
+        #: Ops first counted aborted by the timeout sweeper, then moved
+        #: back to completed when the straggler reply arrived after all.
+        self.reconciled_ops = 0
+        #: Consecutive RETRY replies; drives exponential backoff.
+        self.retry_attempts = 0
         #: Set after a rollback; the issuing loop waits it out (§7.4).
         self.paused_until = 0.0
-        #: Identity of the last cut folded in — workers piggyback the
-        #: same object until the finder publishes a new one, so this
-        #: avoids rescanning the uncommitted window on every reply.
-        self._last_cut_seen: Optional[DprCut] = None
+        #: Versions of the last cut folded in — workers piggyback cuts
+        #: on replies, so comparing by value avoids rescanning the
+        #: uncommitted window for every duplicate of the same cut
+        #: (delivery may duplicate messages; identity is meaningless).
+        self._last_cut_seen: Optional[Dict[str, int]] = None
+        #: batch_id -> op_count for batches the sweeper gave up on,
+        #: kept so a straggling reply can be reconciled.
+        self._abandoned: Dict[int, int] = {}
 
     def new_batch(self, object_id: str, op_count: int, write_count: int,
                   now: float, reply_to: str) -> BatchRequest:
-        BatchSession._next_batch_id += 1
-        batch_id = BatchSession._next_batch_id
+        batch_id = self._ids.allocate()
         deps = tuple(Token(obj, ver) for obj, ver in self._recent.items())
         self._recent.clear()
         request = BatchRequest(
@@ -99,7 +131,11 @@ class BatchSession:
     def complete(self, reply: BatchReply, now: float) -> None:
         record = self.records.get(reply.batch_id)
         if record is None:
-            return  # lost to a rollback meanwhile
+            self._reconcile_straggler(reply.batch_id, now)
+            return  # lost to a rollback or already retired (duplicate)
+        if record.completed_at is not None:
+            return  # duplicated reply; the first copy did the accounting
+        self.retry_attempts = 0
         record.version = reply.version
         record.completed_at = now
         self.outstanding_ops -= record.op_count
@@ -110,8 +146,29 @@ class BatchSession:
             self._recent[record.object_id] = reply.version
         self.stats.completed.add(now, record.op_count)
         self.stats.operation_latency.add(now - record.created_at)
-        if reply.cut is not None and reply.cut is not self._last_cut_seen:
+        if reply.cut is not None and reply.cut.versions != self._last_cut_seen:
             self.refresh_commit(reply.cut, now)
+
+    def _reconcile_straggler(self, batch_id: int, now: float) -> None:
+        """A reply for a batch the timeout sweeper already wrote off:
+        the ops *did* run, so move them from aborted back to completed
+        instead of leaving the ledger skewed."""
+        op_count = self._abandoned.pop(batch_id, None)
+        if op_count is None:
+            return
+        self.aborted_ops -= op_count
+        self.reconciled_ops += op_count
+        self.stats.aborted.add(now, -op_count)
+        self.stats.completed.add(now, op_count)
+
+    def abandon(self, record: BatchRecord, now: float) -> None:
+        """Write a stuck batch off as aborted, remembering it so a
+        straggling reply can still be reconciled."""
+        self.records.pop(record.batch_id, None)
+        self.outstanding_ops -= record.op_count
+        self.aborted_ops += record.op_count
+        self.stats.aborted.add(now, record.op_count)
+        self._abandoned[record.batch_id] = record.op_count
 
     def drop(self, batch_id: int) -> None:
         """Forget a batch the server refused (RETRY); ops never ran."""
@@ -122,7 +179,7 @@ class BatchSession:
     def refresh_commit(self, cut: DprCut, now: float) -> None:
         """Retire completed batches the cut covers (relaxed DPR: pending
         batches do not block later independent ones, §5.4)."""
-        self._last_cut_seen = cut
+        self._last_cut_seen = dict(cut.versions)
         retired = []
         for batch_id, record in self.records.items():
             if record.version is None:
@@ -157,6 +214,13 @@ class BatchSession:
         self.records.clear()
         self.outstanding_ops = 0
         self._recent.clear()
+        # The new world-line invalidates cached commit state: the next
+        # piggybacked cut must be rescanned, and straggling replies from
+        # the old world-line describe effects that were rolled back —
+        # they stay aborted rather than being reconciled.
+        self._last_cut_seen = None
+        self._abandoned.clear()
+        self.retry_attempts = 0
         self.paused_until = now + pause
 
 
@@ -177,6 +241,7 @@ class ClientMachine:
         rng: Optional[random.Random] = None,
         recovery_pause: float = 20e-3,
         retry_delay: float = 2e-3,
+        retry_backoff_cap: float = 0.1,
         request_timeout: float = 0.2,
     ):
         self.env = env
@@ -190,16 +255,19 @@ class ClientMachine:
         self.window = window if window is not None else 16 * batch_size
         self.recovery_pause = recovery_pause
         self.retry_delay = retry_delay
+        #: Upper bound on the exponential RETRY backoff.
+        self.retry_backoff_cap = retry_backoff_cap
         #: Batches unanswered this long are abandoned (the worker
         #: crashed mid-flight); the TCP analog of a broken connection.
         self.request_timeout = request_timeout
         self._rng = make_rng(rng)
+        self._batch_ids = BatchIds()
         self.sessions: Dict[str, BatchSession] = {}
         self._wakeups: Dict[str, object] = {}
         self.running = True
         for thread in range(n_threads):
             session_id = f"{address}/s{thread}"
-            session = BatchSession(session_id, stats)
+            session = BatchSession(session_id, stats, ids=self._batch_ids)
             self.sessions[session_id] = session
             env.process(self._issue_loop(session, spawn(self._rng, session_id)),
                         name=f"client:{session_id}")
@@ -249,9 +317,18 @@ class ClientMachine:
                                         self.recovery_pause)
             elif reply.status == "retry":
                 session.drop(reply.batch_id)
-                # back off briefly; the worker is still recovering
+                # Exponential backoff with seeded jitter: repeated
+                # RETRYs mean the worker is still recovering, and a
+                # fleet of sessions hammering it in lockstep only
+                # prolongs that.  Jitter in [backoff/2, backoff]
+                # de-synchronizes the herd without unbounded waits.
+                exponent = min(session.retry_attempts, 6)
+                session.retry_attempts += 1
+                backoff = min(self.retry_delay * (2 ** exponent),
+                              self.retry_backoff_cap)
+                backoff *= 0.5 + 0.5 * self._rng.random()
                 session.paused_until = max(session.paused_until,
-                                           env.now + self.retry_delay)
+                                           env.now + backoff)
             else:
                 session.complete(reply, env.now)
             self._wake(reply.session_id)
@@ -268,10 +345,7 @@ class ClientMachine:
                     if record.version is None and record.created_at < deadline
                 ]
                 for record in stuck:
-                    session.records.pop(record.batch_id, None)
-                    session.outstanding_ops -= record.op_count
-                    session.aborted_ops += record.op_count
-                    self.stats.aborted.add(env.now, record.op_count)
+                    session.abandon(record, env.now)
                 if stuck:
                     self._wake(session.session_id)
 

@@ -14,7 +14,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
-from repro.cluster.client import BatchSession, ClientMachine
+from repro.cluster.client import BatchIds, BatchSession, ClientMachine
 from repro.cluster.costmodel import CostModel
 from repro.cluster.messages import BatchReply, BatchRequest
 from repro.cluster.metadata import MetadataStore
@@ -30,6 +30,7 @@ from repro.core.finder import (
 from repro.core.state_object import WorldLineMismatch
 from repro.core.worldline import WorldLineDecision
 from repro.faster.state_object import FasterStateObject
+from repro.sim.faults import FaultPlan
 from repro.sim.kernel import Environment
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.rand import make_rng, spawn
@@ -66,6 +67,9 @@ class DFasterConfig:
     functional_keyspace: int = 4096
     seed: int = 42
     cost: CostModel = field(default_factory=CostModel)
+    #: Chaos testing: a seeded fault-injection plan applied to the
+    #: network and the metadata store (None = fault-free).
+    faults: Optional[FaultPlan] = None
 
 
 class DFasterCluster:
@@ -86,8 +90,10 @@ class DFasterCluster:
         self.env = Environment()
         self._rng = make_rng(config.seed)
         self.net = Network(self.env, NetworkConfig(),
-                           rng=spawn(self._rng, "net"))
-        self.metadata = MetadataStore(self.env, rng=spawn(self._rng, "meta"))
+                           rng=spawn(self._rng, "net"),
+                           faults=config.faults)
+        self.metadata = MetadataStore(self.env, rng=spawn(self._rng, "meta"),
+                                      faults=config.faults)
         self.stats = ClusterStats()
 
         finder_cls = self.FINDERS[config.finder]
@@ -262,12 +268,14 @@ class _ColocatedDriver:
         self.window = (config.window if config.window is not None
                        else 16 * config.batch_size)
         self.sessions: Dict[str, BatchSession] = {}
+        self._batch_ids = BatchIds()
         self._remote_targets = [
             w.address for w in cluster.workers if w is not worker
         ]
         for thread in range(config.vcpus):
             session_id = f"{worker.address}/co{thread}"
-            session = BatchSession(session_id, cluster.stats)
+            session = BatchSession(session_id, cluster.stats,
+                                   ids=self._batch_ids)
             self.sessions[session_id] = session
             cluster.env.process(
                 self._loop(session, spawn(cluster._rng, session_id)),
@@ -294,7 +302,8 @@ class _ColocatedDriver:
                 if session is not None:
                     self._absorb_reply(session, payload)
             elif isinstance(payload, BatchRequest):
-                worker.work.put(payload)
+                if worker.admit(payload):
+                    worker.work.put(payload)
             else:
                 self._forward_control(payload)
 

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import enum
 import random
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.client import ClientMachine
 from repro.cluster.costmodel import CostModel
@@ -37,9 +38,11 @@ from repro.cluster.metadata import MetadataStore
 from repro.cluster.modeled import ModeledStore
 from repro.cluster.services import ClusterManager, FinderService
 from repro.cluster.stats import ClusterStats
+from repro.cluster.worker import REPLY_CACHE
 from repro.core.finder import ApproximateDprFinder
 from repro.core.state_object import WorldLineMismatch
 from repro.core.worldline import WorldLineDecision
+from repro.sim.faults import FaultPlan
 from repro.sim.kernel import Environment
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.queues import Queue
@@ -73,6 +76,9 @@ class DRedisConfig:
     aof: Optional[str] = None
     seed: int = 42
     cost: CostModel = field(default_factory=CostModel)
+    #: Chaos testing: a seeded fault-injection plan applied to the
+    #: network and the metadata store (None = fault-free).
+    faults: Optional[FaultPlan] = None
 
 
 class _RedisInstance:
@@ -139,6 +145,13 @@ class _DRedisProxy:
         )
         self.cached_cut = None
         self.cached_max_version = 0
+        #: Duplicate-request suppression, mirroring DFasterWorker: the
+        #: network promises at-least-once only, and replaying a batch
+        #: through Redis would double-apply it.
+        self.duplicate_batches = 0
+        self._replies: "OrderedDict[Tuple[str, int], Tuple[str, BatchReply]]" \
+            = OrderedDict()
+        self._inflight: set = set()
         #: Responses from Redis awaiting outbound forwarding.
         self._egress = Queue(env, name=f"proxy-out:{self.address}")
         env.process(self._receive_loop(), name=f"proxy:{self.address}")
@@ -163,6 +176,19 @@ class _DRedisProxy:
                             name=f"proxy-rollback:{self.address}")
                 continue
             request: BatchRequest = payload
+            key = (request.session_id, request.batch_id)
+            cached = self._replies.get(key)
+            if cached is not None:
+                # Duplicate of a served batch: answer from the memoized
+                # reply without touching Redis again.
+                self.duplicate_batches += 1
+                reply_to, reply = cached
+                self.cluster.net.send(self.address, reply_to, reply,
+                                      size_ops=request.op_count)
+                continue
+            if key in self._inflight:
+                self.duplicate_batches += 1
+                continue
             # Inbound forwarding cost (read header, re-frame).
             yield env.timeout(cost.proxy_time(request.op_count, dpr=self.dpr))
             if self.dpr:
@@ -172,6 +198,7 @@ class _DRedisProxy:
                                           reply_or_none,
                                           size_ops=request.op_count)
                     continue
+            self._inflight.add(key)
             self.redis.queue.put((request, self._make_responder(request)))
 
     def _dpr_gate(self, request: BatchRequest) -> Optional[BatchReply]:
@@ -230,6 +257,11 @@ class _DRedisProxy:
                 cut=self.cached_cut if self.dpr else None,
                 served_at=env.now,
             )
+            key = (request.session_id, request.batch_id)
+            self._inflight.discard(key)
+            self._replies[key] = (request.reply_to, reply)
+            while len(self._replies) > REPLY_CACHE:
+                self._replies.popitem(last=False)
             self.cluster.net.send(self.address, request.reply_to, reply,
                                   size_ops=request.op_count)
 
@@ -300,9 +332,11 @@ class DRedisCluster:
         self.env = Environment()
         self._rng = make_rng(config.seed)
         self.net = Network(self.env, NetworkConfig(),
-                           rng=spawn(self._rng, "net"))
+                           rng=spawn(self._rng, "net"),
+                           faults=config.faults)
         self.stats = ClusterStats()
-        self.metadata = MetadataStore(self.env, rng=spawn(self._rng, "meta"))
+        self.metadata = MetadataStore(self.env, rng=spawn(self._rng, "meta"),
+                                      faults=config.faults)
         self.finder = ApproximateDprFinder(table=self.metadata.version_table)
 
         self.redis_instances: List[_RedisInstance] = []

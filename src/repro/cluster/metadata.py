@@ -6,7 +6,12 @@ membership), the ownership table (virtual partition -> worker), and the
 published cut/world-line — behind a simulated round-trip latency.
 
 The store itself is fault-tolerant (the paper provisions a managed SQL
-instance); it never crashes in the simulation.  Accesses *are* timed:
+instance); it never *loses data* in the simulation.  It can, however,
+become slow or temporarily unreachable: an installed
+:class:`~repro.sim.faults.FaultPlan` stretches :meth:`access` round
+trips across scheduled outage windows and latency spikes, which is how
+chaos runs force the finder service's coordinator to fail over onto the
+hybrid finder's approximate fallback (§3.4).  Accesses *are* timed:
 callers yield :meth:`MetadataStore.access` around each logical query,
 which is how "off the critical path" stays honest — nothing on the
 operation fast path ever touches this store.
@@ -19,6 +24,7 @@ from typing import Dict, Optional
 
 from repro.core.cuts import DprCut
 from repro.core.finder.base import VersionTable
+from repro.sim.faults import FaultPlan
 from repro.sim.kernel import Environment, Event
 from repro.sim.rand import make_rng
 
@@ -28,7 +34,8 @@ class MetadataStore:
 
     def __init__(self, env: Environment, rtt_mean: float = 1.2e-3,
                  rtt_jitter: float = 0.2e-3,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 faults: Optional[FaultPlan] = None):
         self.env = env
         self.rtt_mean = rtt_mean
         self.rtt_jitter = rtt_jitter
@@ -38,13 +45,26 @@ class MetadataStore:
         #: virtual partition id -> owning worker id.
         self.ownership: Dict[int, str] = {}
         self.queries = 0
+        self.faults = faults
+
+    def install_faults(self, faults: Optional[FaultPlan]) -> None:
+        """Install (or, with None, remove) a fault-injection plan."""
+        self.faults = faults
 
     def access(self) -> Event:
-        """One timed round trip to the store (yield this, then read)."""
+        """One timed round trip to the store (yield this, then read).
+
+        During an injected outage the access stalls until the outage
+        lifts; during a latency spike it pays the extra delay.  The
+        query itself never fails — the managed store is durable — so
+        callers observe slowness, not errors (and must survive it).
+        """
         self.queries += 1
         delay = self.rtt_mean
         if self.rtt_jitter > 0:
             delay += abs(self._rng.gauss(0.0, self.rtt_jitter))
+        if self.faults is not None:
+            delay += self.faults.metadata_delay(self.env.now)
         return self.env.timeout(delay)
 
     # -- ownership table (§5.3) -------------------------------------------

@@ -4,13 +4,23 @@ The **finder service** (Figure 6's "DPR Tracking") receives seal and
 persist reports from workers, runs the cut-finder algorithm against the
 metadata store on a periodic tick (paying the store's round-trip
 latency — all off the operation critical path), and broadcasts each new
-cut to the workers, which piggyback it on replies.
+cut to the workers, which piggyback it on replies.  Broadcasts are
+anti-entropic: the current cut is re-sent periodically even when
+unchanged, so a worker that lost a broadcast to the network still
+converges within one anti-entropy interval.  A metadata access that
+stalls past the failover threshold (an injected outage) is treated as a
+coordinator failover: the hybrid finder loses its in-memory graph and
+falls back to the approximate cut until ``Vmin`` catches up (§3.4).
 
 The **cluster manager** plays the role the paper delegates to
 Kubernetes/Service Fabric (§4.1): it detects (or is told about)
 failures, assigns world-line serials, halts DPR progress, commands
 every worker to roll back to the latest cut, and resumes progress once
-all have reported back.
+all have reported back.  Rollback commands are retransmitted on a
+per-worker ack timeout until every survivor's ``RollbackDone`` arrives,
+and duplicate or stale ``RollbackDone``s are absorbed idempotently —
+the delivery guarantee required of the network is "eventually, with
+retries", not "exactly once".
 """
 
 from __future__ import annotations
@@ -45,6 +55,8 @@ class FinderService:
         metadata: MetadataStore,
         worker_addresses: List[str],
         tick_interval: float = 10e-3,
+        anti_entropy_interval: float = 50e-3,
+        failover_threshold: float = 20e-3,
     ):
         self.env = env
         self.net = net
@@ -54,7 +66,24 @@ class FinderService:
         self.metadata = metadata
         self.workers = list(worker_addresses)
         self.tick_interval = tick_interval
+        #: Re-broadcast the current cut at least this often even when it
+        #: has not changed, so workers that lost a broadcast converge.
+        self.anti_entropy_interval = anti_entropy_interval
+        #: A metadata access stalled past this is a coordinator failover:
+        #: the in-memory exact graph is gone (hybrid finder, §3.4).
+        self.failover_threshold = failover_threshold
         self.ticks = 0
+        self.broadcasts = 0
+        self.coordinator_failovers = 0
+        #: Per-object high-watermark over seal reports.  At-least-once
+        #: delivery makes duplicated and reordered SealReports normal,
+        #: but the precedence graph requires an in-order exactly-once
+        #: stream (a duplicate or stale seal raises).  Dropping one is
+        #: safe: it only makes the exact cut conservative — exactly as
+        #: if the network had dropped the report — and the durable
+        #: version table still carries the persist once Vmin passes.
+        self._seal_floor: Dict[str, int] = {}
+        self.stale_seals = 0
         for worker in self.workers:
             finder.register_object(worker)
         env.process(self._receive_loop(), name=f"finder-rx:{address}")
@@ -65,6 +94,11 @@ class FinderService:
             message = yield self.endpoint.inbox.get()
             payload = message.payload
             if isinstance(payload, SealReport):
+                token = payload.descriptor.token
+                if token.version <= self._seal_floor.get(token.object_id, 0):
+                    self.stale_seals += 1  # duplicate or reordered-stale
+                    continue
+                self._seal_floor[token.object_id] = token.version
                 self.finder.report_seal(payload.descriptor)
             elif isinstance(payload, PersistReport):
                 self.finder.report_persisted(
@@ -74,15 +108,31 @@ class FinderService:
     def _tick_loop(self):
         env = self.env
         previous = None
+        last_broadcast = 0.0
         while True:
             yield env.timeout(self.tick_interval)
             # The cut computation reads/writes the durable store.
+            started = env.now
             yield self.metadata.access()
+            if env.now - started > self.failover_threshold:
+                # The store was unreachable long enough for the lease on
+                # the coordinator to lapse: the replacement coordinator
+                # has no in-memory precedence graph.
+                crash = getattr(self.finder, "crash_coordinator", None)
+                if crash is not None:
+                    crash()
+                    self.coordinator_failovers += 1
             cut = self.finder.tick()
             self.ticks += 1
             vmax = self.finder.max_version()
-            if cut.versions != previous:
+            # Anti-entropy: a changed cut broadcasts immediately, and an
+            # unchanged one is still re-sent periodically — a worker that
+            # lost the last broadcast must not stay stale forever.
+            due = env.now - last_broadcast >= self.anti_entropy_interval
+            if cut.versions != previous or due:
                 previous = dict(cut.versions)
+                last_broadcast = env.now
+                self.broadcasts += 1
                 broadcast = CutBroadcast(
                     cut=cut,
                     world_line=self.finder.table.read_world_line(),
@@ -105,6 +155,7 @@ class ClusterManager:
         worker_addresses: List[str],
         heartbeat_timeout: float = 80e-3,
         restart_delay: float = 50e-3,
+        ack_timeout: float = 40e-3,
     ):
         self.env = env
         self.net = net
@@ -122,6 +173,10 @@ class ClusterManager:
         self.worker_registry: Dict[str, object] = {}
         self.heartbeat_timeout = heartbeat_timeout
         self.restart_delay = restart_delay
+        #: Unacked RollbackCommands are retransmitted this often until
+        #: the addressee's RollbackDone arrives.
+        self.ack_timeout = ack_timeout
+        self.retransmissions = 0
         self._last_heartbeat: Dict[str, float] = {}
         self._handling_crash: set = set()
         #: (worker_id, detected_at, restarted_at) per detected crash.
@@ -161,6 +216,31 @@ class ClusterManager:
         command = RollbackCommand(world_line=plan.world_line, cut=plan.cut)
         for worker in self.workers:
             self.net.send(self.address, worker, command, size_ops=1)
+        self.env.process(self._retransmit_loop(plan.world_line, command),
+                         name=f"manager-retx:{plan.world_line}")
+
+    def _retransmit_loop(self, world_line: int, command: RollbackCommand):
+        """Re-send the rollback command until every addressee acked.
+
+        A lost RollbackCommand (or a lost RollbackDone) must not wedge
+        recovery: any worker still pending after the ack timeout gets
+        the command again.  Workers ack stale commands too, and the
+        manager absorbs duplicate acks idempotently, so at-least-once
+        delivery is sufficient.
+        """
+        env = self.env
+        while True:
+            yield env.timeout(self.ack_timeout)
+            pending = self._pending.get(world_line)
+            if pending is None:
+                return  # everyone acked
+            if world_line < self.controller.world_line:
+                return  # superseded by a nested failure's recovery
+            for worker in sorted(pending):
+                if worker in self._handling_crash:
+                    continue  # its restart path reports completion
+                self.net.send(self.address, worker, command, size_ops=1)
+                self.retransmissions += 1
 
     # -- failure detection (heartbeats) ---------------------------------------
 
@@ -170,8 +250,16 @@ class ClusterManager:
         check_interval = self.heartbeat_timeout / 4
         while True:
             yield env.timeout(check_interval)
+            # Seed the clock for restartable workers that have never
+            # beaten, so a worker that crashes before its first
+            # heartbeat is still caught within heartbeat_timeout.
+            # (Unregistered addressees — e.g. D-Redis proxies, which do
+            # not send heartbeats at all — are never monitored.)
+            for worker_id in self.workers:
+                if worker_id in self.worker_registry:
+                    self._last_heartbeat.setdefault(worker_id, env.now)
             if not self._last_heartbeat:
-                continue  # nothing has ever beaten; still booting
+                continue  # nothing monitorable; heartbeats disabled
             for worker_id in self.workers:
                 last = self._last_heartbeat.get(worker_id)
                 if last is None or worker_id in self._handling_crash:
@@ -200,6 +288,8 @@ class ClusterManager:
         for survivor in self.workers:
             if survivor != worker_id:
                 self.net.send(self.address, survivor, command, size_ops=1)
+        env.process(self._retransmit_loop(plan.world_line, command),
+                    name=f"manager-retx:{plan.world_line}")
         # Bounded-time restart of the failed worker from durable state.
         yield env.timeout(self.restart_delay)
         worker = self.worker_registry.get(worker_id)

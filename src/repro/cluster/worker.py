@@ -13,11 +13,18 @@ server threads charge per-batch service time, inflated while the
 checkpoint machinery is in its transition window, while a flush is
 outstanding (backend-dependent), and when checkpoints queue up faster
 than storage drains them (the Figure 14 thrash regime).
+
+Workers are idempotent under at-least-once delivery: duplicated
+``BatchRequest``s are answered from a memoized reply cache (or dropped
+while the original is in service) rather than re-executed, and
+duplicated ``RollbackCommand``s are world-line-gated no-ops that still
+re-ack.
 """
 
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.costmodel import CostModel
@@ -41,6 +48,12 @@ from repro.sim.queues import Queue
 from repro.sim.rand import make_rng
 from repro.sim.storage import StorageDevice
 from repro.workloads.ycsb import WorkloadSpec
+
+#: Memoized replies kept per worker for duplicate-request suppression.
+#: Far larger than any plausible in-flight window (clients keep ~2
+#: batches per worker outstanding), so a duplicate essentially always
+#: finds its original's reply still cached.
+REPLY_CACHE = 4096
 
 
 class DFasterWorker:
@@ -102,6 +115,17 @@ class DFasterWorker:
         self.crashed = False
         self.batches_served = 0
         self.checkpoints_taken = 0
+        #: Duplicate BatchRequests suppressed (answered from cache or
+        #: dropped while the original was still in service).  At-least-
+        #: once delivery makes duplicates normal, and re-executing one
+        #: would double-apply its ops.
+        self.duplicate_batches = 0
+        #: (session_id, batch_id) -> (reply_to, BatchReply), insertion
+        #: order, capped at REPLY_CACHE.
+        self._replies: "OrderedDict[Tuple[str, int], Tuple[str, BatchReply]]" \
+            = OrderedDict()
+        #: Batches accepted but not yet replied to.
+        self._inflight: set = set()
         #: Heartbeat period; the cluster manager detects a crash when
         #: heartbeats stop (§4.1's external failure detector).
         self.heartbeat_interval = 20e-3
@@ -127,7 +151,8 @@ class DFasterWorker:
             message = yield self.endpoint.inbox.get()
             payload = message.payload
             if isinstance(payload, BatchRequest):
-                self.work.put(payload)
+                if self.admit(payload):
+                    self.work.put(payload)
             elif isinstance(payload, CutBroadcast):
                 self.cached_cut = payload.cut
                 self.cached_max_version = getattr(payload, "max_version", 0)
@@ -135,6 +160,28 @@ class DFasterWorker:
                 self.env.process(self._handle_rollback(payload),
                                  name=f"rollback:{self.address}")
             # RollbackDone / reports are for services, not workers.
+
+    def admit(self, request: BatchRequest) -> bool:
+        """Admit a request for service unless it is a duplicate.
+
+        A duplicate of an already-served batch is answered from the
+        memoized reply (re-executing would double-apply its ops); a
+        duplicate of a batch still in service is dropped — the
+        original's reply answers both copies.
+        """
+        key = (request.session_id, request.batch_id)
+        cached = self._replies.get(key)
+        if cached is not None:
+            self.duplicate_batches += 1
+            reply_to, reply = cached
+            self.net.send(self.address, reply_to, reply,
+                          size_ops=request.op_count)
+            return False
+        if key in self._inflight:
+            self.duplicate_batches += 1
+            return False
+        self._inflight.add(key)
+        return True
 
     # -- serving -------------------------------------------------------------
 
@@ -175,6 +222,16 @@ class DFasterWorker:
                                          self.checkpoints_enabled)
 
     def _execute(self, request: BatchRequest) -> BatchReply:
+        """Run the DPR-gated execute, memoize and return the reply."""
+        reply = self._execute_uncached(request)
+        key = (request.session_id, request.batch_id)
+        self._inflight.discard(key)
+        self._replies[key] = (request.reply_to, reply)
+        while len(self._replies) > REPLY_CACHE:
+            self._replies.popitem(last=False)
+        return reply
+
+    def _execute_uncached(self, request: BatchRequest) -> BatchReply:
         """Run the DPR-gated execute and build the reply."""
         if (self.ownership is not None
                 and request.partition is not None
@@ -344,6 +401,11 @@ class DFasterWorker:
         window models THROW convergence before the worker reports done.
         Operations keep being served throughout — that is the point of
         non-blocking recovery.
+
+        Idempotent under duplication and retransmission: the world-line
+        check makes the restore a no-op for stale or repeated commands,
+        and every copy (re-)sends ``RollbackDone`` — which is exactly
+        the ack the manager's retransmit loop is waiting on.
         """
         env = self.env
         target = command.cut.version_of(self.engine.object_id)
@@ -379,6 +441,10 @@ class DFasterWorker:
         self.net.set_up(self.address, False)
         self.work.drain()
         self.endpoint.inbox.drain()
+        # Volatile dedup state dies with the process; post-restart
+        # duplicates of pre-crash batches are world-line-gated instead.
+        self._replies.clear()
+        self._inflight.clear()
         self.device.fail()
 
     def restart(self, cut: DprCut, world_line: int,
@@ -395,6 +461,8 @@ class DFasterWorker:
         self._machine_busy = False
         self._flushing = False
         self._slow_until = 0.0
+        self._replies.clear()
+        self._inflight.clear()
         self.crashed = False
         self.net.set_up(self.address, True)
 

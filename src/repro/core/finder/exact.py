@@ -43,7 +43,12 @@ class ExactDprFinder(DprFinder):
         self.graph_writes += 1 + len(descriptor.deps)
 
     def report_persisted(self, token: Token) -> None:
-        self.graph.mark_persisted(token)
+        # A persist may arrive for a token whose seal report the network
+        # lost (at-least-once delivery guarantees retries, not order or
+        # uniqueness); the durable table still advances, and the absent
+        # vertex merely keeps the cut conservative.
+        if token in self.graph:
+            self.graph.mark_persisted(token)
         self.table.upsert(token.object_id, token.version)
         self.graph_writes += 1
 

@@ -18,6 +18,13 @@ from repro.sim.kernel import (
     Timeout,
 )
 from repro.sim.queues import Queue, QueueClosed
+from repro.sim.faults import (
+    FaultPlan,
+    LinkFault,
+    MetadataOutage,
+    MetadataSpike,
+    Partition,
+)
 from repro.sim.network import Network, NetworkConfig, Endpoint, Message
 from repro.sim.storage import (
     StorageDevice,
@@ -38,6 +45,11 @@ __all__ = [
     "Timeout",
     "Queue",
     "QueueClosed",
+    "FaultPlan",
+    "LinkFault",
+    "MetadataOutage",
+    "MetadataSpike",
+    "Partition",
     "Network",
     "NetworkConfig",
     "Endpoint",

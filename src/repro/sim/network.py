@@ -7,6 +7,9 @@ cost, the effect behind Figures 13 and 15), and optional jitter.
 
 Endpoints that are *down* silently drop traffic, which is how worker
 crashes manifest to their peers until the cluster manager intervenes.
+An installed :class:`~repro.sim.faults.FaultPlan` adds the partial
+failure shapes — probabilistic drop, duplication, bounded reorder, and
+scheduled partitions — that real networks exhibit between crashes.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from repro.sim.faults import FaultPlan
 from repro.sim.kernel import Environment
 from repro.sim.queues import Queue
 from repro.sim.rand import make_rng
@@ -71,11 +75,17 @@ class Network:
         env: Environment,
         config: Optional[NetworkConfig] = None,
         rng: Optional[random.Random] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         self.env = env
         self.config = config or NetworkConfig()
         self._rng = make_rng(rng)
         self._endpoints: Dict[str, Endpoint] = {}
+        self.faults = faults
+
+    def install_faults(self, faults: Optional[FaultPlan]) -> None:
+        """Install (or, with None, remove) a fault-injection plan."""
+        self.faults = faults
 
     def register(self, address: str) -> Endpoint:
         """Create (or return) the endpoint for ``address``."""
@@ -105,29 +115,40 @@ class Network:
         """Asynchronously deliver ``payload`` from ``src`` to ``dst``.
 
         Delivery is dropped if either endpoint is down at send time or
-        the destination is down at delivery time (crash semantics).
+        the destination is down at delivery time (crash semantics).  An
+        installed fault plan may additionally drop, duplicate, or delay
+        the message (loopback traffic never traverses the NIC and is
+        exempt).
         """
         sender = self._endpoints[src]
         target = self._endpoints[dst]
         if not sender.up or not target.up:
             target.dropped += 1
             return
-        sender.sent += 1
-        delay = self.latency(src, dst, size_ops)
-        message = Message(
-            src=src,
-            dst=dst,
-            payload=payload,
-            size_ops=size_ops,
-            send_time=self.env.now,
-            deliver_time=self.env.now + delay,
-        )
-
-        def deliver(_event):
-            if not target.up:
+        if self.faults is not None and src != dst:
+            extra_delays = self.faults.deliveries(src, dst, self.env.now)
+            if not extra_delays:
                 target.dropped += 1
                 return
-            target.received += 1
-            target.inbox.put(message)
+        else:
+            extra_delays = (0.0,)
+        sender.sent += 1
+        for extra in extra_delays:
+            delay = self.latency(src, dst, size_ops) + extra
+            message = Message(
+                src=src,
+                dst=dst,
+                payload=payload,
+                size_ops=size_ops,
+                send_time=self.env.now,
+                deliver_time=self.env.now + delay,
+            )
 
-        self.env.timeout(delay).add_callback(deliver)
+            def deliver(_event, message=message):
+                if not target.up:
+                    target.dropped += 1
+                    return
+                target.received += 1
+                target.inbox.put(message)
+
+            self.env.timeout(delay).add_callback(deliver)

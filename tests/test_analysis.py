@@ -133,7 +133,7 @@ class TestFramework:
     def test_rule_catalog_is_complete(self):
         expected = {
             "DPR-D01", "DPR-D02", "DPR-D03",
-            "DPR-P01", "DPR-P02", "DPR-P03",
+            "DPR-P01", "DPR-P02", "DPR-P03", "DPR-P04",
             "DPR-H01", "DPR-H02", "DPR-H03",
         }
         assert {rule.id for rule in all_rules()} == expected
@@ -396,6 +396,42 @@ class TestProtocolRules:
         """
         findings = lint_fixture(tmp_path, files)
         assert "DPR-P03" not in rules_found(findings)
+
+    def test_p04_flags_direct_inbox_put(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/cluster/shortcut.py": """\
+                def fast_path(net, payload):
+                    target = net.endpoint("worker-0")
+                    target.inbox.put(payload)
+
+                def aliased(endpoint, payload):
+                    inbox = endpoint.inbox
+                    inbox.put(payload)
+            """,
+        })
+        p04 = [f for f in findings if f.rule == "DPR-P04"]
+        assert len(p04) == 2
+
+    def test_p04_network_send_and_other_queues_are_clean(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/cluster/proper.py": """\
+                def send(net, payload):
+                    net.send("a", "b", payload, size_ops=1)
+
+                def local_work(worker, item):
+                    worker.work.put(item)
+            """,
+        })
+        assert "DPR-P04" not in rules_found(findings)
+
+    def test_p04_sim_network_itself_is_exempt(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/sim/network.py": """\
+                def deliver(target, message):
+                    target.inbox.put(message)
+            """,
+        })
+        assert "DPR-P04" not in rules_found(findings)
 
 
 class TestHygieneRules:

@@ -4,6 +4,10 @@ cluster membership changes (§4.1, §5.3)."""
 import pytest
 
 from repro.cluster import DFasterCluster, DFasterConfig
+from repro.cluster.client import BatchSession
+from repro.cluster.messages import BatchReply
+from repro.cluster.stats import ClusterStats
+from repro.sim.faults import FaultPlan, Partition
 
 SMALL = dict(n_workers=3, vcpus=2, n_client_machines=1, client_threads=2,
              batch_size=32, checkpoint_interval=0.05)
@@ -102,6 +106,169 @@ class TestChaos:
             assert stats.committed.total(at_time + 0.1, at_time + 0.4) > 0
         assert cluster.manager.controller.world_line == 3
         assert not cluster.finder.halted
+
+
+class TestDeliveryHardening:
+    """Regression tests for the delivery-failure fixes."""
+
+    def test_crash_before_first_heartbeat_is_detected(self):
+        # A worker that dies before ever heartbeating used to be
+        # invisible to the monitor (it only tracked workers with a
+        # recorded beat); the monitor now seeds the clock for every
+        # restartable worker when it first looks.
+        cluster = DFasterCluster(DFasterConfig(**SMALL))
+        cluster.schedule_crash(worker_index=1, at_time=0.001)
+        cluster.run(0.6, warmup=0.05)
+        [crash] = cluster.manager.detected_crashes
+        assert crash["worker_id"] == "worker-1"
+        assert crash["detected_at"] < \
+            cluster.manager.heartbeat_timeout + 0.05
+        assert crash["restarted_at"] is not None
+        assert not cluster.workers[1].crashed
+
+    def test_batch_ids_do_not_leak_across_clusters(self):
+        # Batch ids were a BatchSession *class* counter, so a second
+        # cluster in the same process started numbering where the first
+        # stopped.  Equal seeds must now give equal allocations.
+        def run_one():
+            cluster = DFasterCluster(DFasterConfig(**SMALL))
+            cluster.run(0.3, warmup=0.05)
+            return cluster
+
+        first, second = run_one(), run_one()
+        for a, b in zip(first.clients, second.clients):
+            assert a._batch_ids._next == b._batch_ids._next
+            for sa, sb in zip(a.sessions.values(), b.sessions.values()):
+                assert sa._next_seqno == sb._next_seqno
+                assert sa.committed_ops == sb.committed_ops
+
+    def test_sweeper_reconciles_straggler_reply(self):
+        # The timeout sweeper writes a stuck batch off as aborted; if
+        # the reply then straggles in, the ops actually ran and the
+        # ledger must move them back to completed.
+        stats = ClusterStats()
+        session = BatchSession("s", stats)
+        request = session.new_batch("worker-0", 32, 16, now=0.0,
+                                    reply_to="client-0")
+        record = session.records[request.batch_id]
+        session.abandon(record, now=0.5)
+        assert session.aborted_ops == 32
+        assert session.outstanding_ops == 0
+        reply = BatchReply(batch_id=request.batch_id, session_id="s",
+                           object_id="worker-0", status="ok",
+                           world_line=0, version=1, op_count=32,
+                           served_at=0.6)
+        session.complete(reply, now=0.6)
+        assert session.aborted_ops == 0
+        assert session.reconciled_ops == 32
+        assert stats.aborted.total() == 0
+        assert stats.completed.total() == 32
+        # A duplicate of the straggler changes nothing further.
+        session.complete(reply, now=0.7)
+        assert session.reconciled_ops == 32
+        assert stats.completed.total() == 32
+
+    def test_rollback_clears_abandoned_ledger(self):
+        # Straggling replies from the *old* world-line describe effects
+        # that were rolled back: they must stay aborted.
+        stats = ClusterStats()
+        session = BatchSession("s", stats)
+        request = session.new_batch("worker-0", 32, 16, now=0.0,
+                                    reply_to="client-0")
+        session.abandon(session.records[request.batch_id], now=0.5)
+        session.handle_rollback(1, None, now=0.6, pause=0.02)
+        reply = BatchReply(batch_id=request.batch_id, session_id="s",
+                           object_id="worker-0", status="ok",
+                           world_line=0, version=1, op_count=32,
+                           served_at=0.7)
+        session.complete(reply, now=0.7)
+        assert session.aborted_ops == 32
+        assert session.reconciled_ops == 0
+
+    def test_duplicate_reply_accounted_once(self):
+        stats = ClusterStats()
+        session = BatchSession("s", stats)
+        request = session.new_batch("worker-0", 32, 16, now=0.0,
+                                    reply_to="client-0")
+        reply = BatchReply(batch_id=request.batch_id, session_id="s",
+                           object_id="worker-0", status="ok",
+                           world_line=0, version=1, op_count=32,
+                           served_at=0.1)
+        session.complete(reply, now=0.1)
+        session.complete(reply, now=0.1)
+        assert session.outstanding_ops == 0
+        assert stats.completed.total() == 32
+
+    def test_rollback_command_retransmitted_through_partition(self):
+        # Sever the manager from worker-1 across the rollback; the
+        # per-worker ack timeout must re-send the command after the
+        # partition heals, and recovery must still finish.
+        # Short enough that missing heartbeats do not look like a
+        # worker crash, long enough to eat the first command + ack.
+        plan = FaultPlan(5, partitions=[
+            Partition(group_a=("cluster-manager",),
+                      group_b=("worker-1",),
+                      start=0.19, end=0.24),
+        ])
+        cluster = DFasterCluster(DFasterConfig(**SMALL), faults=plan)
+        cluster.schedule_failure(0.2)
+        cluster.run(0.8, warmup=0.05)
+        assert cluster.manager.retransmissions > 0
+        [recovery] = cluster.manager.recoveries
+        assert recovery["finished_at"] is not None
+        assert not cluster.finder.halted
+        for worker in cluster.workers:
+            assert worker.engine.world_line.current == 1
+
+    def test_anti_entropy_rebroadcasts_unchanged_cut(self):
+        # With checkpoints disabled the cut never changes, but the
+        # finder still re-broadcasts it periodically so a worker that
+        # lost a broadcast converges.
+        cluster = DFasterCluster(DFasterConfig(**SMALL),
+                                 checkpoints_enabled=False)
+        cluster.run(0.4, warmup=0.05)
+        interval = cluster.finder_service.anti_entropy_interval
+        assert cluster.finder_service.broadcasts >= int(0.4 / interval) - 1
+
+    def test_duplicate_batch_requests_not_double_applied(self):
+        # Duplicating every client->worker request must not change the
+        # per-session ledger: workers answer duplicates from the reply
+        # cache instead of re-executing.
+        from repro.sim.faults import LinkFault
+        plan = FaultPlan(9, links=[
+            LinkFault(src="client-*", dst="worker-*", duplicate=1.0),
+        ])
+        cluster = DFasterCluster(DFasterConfig(**SMALL), faults=plan)
+        cluster.run(0.5, warmup=0.05)
+        assert plan.injected["duplicated"] > 0
+        assert sum(w.duplicate_batches for w in cluster.workers) > 0
+        for client in cluster.clients:
+            for session in client.sessions.values():
+                issued = session._next_seqno - 1
+                tracked = session.committed_ops + session.aborted_ops
+                in_flight = sum(r.op_count
+                                for r in session.records.values())
+                assert tracked + in_flight <= issued
+                assert session.committed_ops > 0
+
+    def test_duplicated_seal_reports_do_not_crash_hybrid_finder(self):
+        # Every worker->finder message duplicated: without the finder
+        # service's per-object seal high-watermark, the second copy of
+        # any SealReport raises "duplicate commit" inside the hybrid
+        # finder's precedence graph and kills the receive loop.
+        from repro.sim.faults import LinkFault
+        plan = FaultPlan(10, links=[
+            LinkFault(src="worker-*", dst="dpr-finder", duplicate=1.0),
+        ])
+        cluster = DFasterCluster(DFasterConfig(**SMALL), finder="hybrid",
+                                 faults=plan)
+        cluster.run(0.5, warmup=0.05)
+        assert plan.injected["duplicated"] > 0
+        assert cluster.finder_service.stale_seals > 0
+        # The filter drops only the redundant copies: the exact graph
+        # still sees every first copy, so the cut keeps advancing.
+        cut = cluster.finder.current_cut()
+        assert all(cut.version_of(w.address) > 0 for w in cluster.workers)
 
 
 class TestMembership:

@@ -90,3 +90,49 @@ class TestGuaranteeFromCut:
     def test_empty_session(self):
         guarantee = guarantee_from_cut(DprCut(), {"s": []})
         assert guarantee.watermark("s") == 0
+
+    def test_pending_hole_at_watermark_boundary_not_an_exception(self):
+        # Two pending holes, one below and one above the final
+        # watermark.  Only the one strictly below the watermark is an
+        # exception: seqnos past the watermark are already unguaranteed,
+        # so listing them would make exceptions ambiguous.
+        cut = DprCut.of(Token("A", 1))
+        guarantee = guarantee_from_cut(
+            cut,
+            {"s": [(1, "A", 1), (2, "A", 5), (3, "A", 1), (4, "A", 9)]},
+            pending={"s": [2, 4]},
+        )
+        assert guarantee.watermark("s") == 3
+        assert guarantee.exceptions["s"] == (2,)
+        assert not guarantee.survives("s", 2)   # below watermark, excepted
+        assert guarantee.survives("s", 3)
+        assert not guarantee.survives("s", 4)   # above watermark
+
+    def test_all_pending_prefix_keeps_watermark_zero(self):
+        # Every op pending and uncovered: relaxed DPR skips them all but
+        # there is no covered op to anchor a watermark, and no hole sits
+        # below it — nothing is guaranteed, nothing is excepted.
+        cut = DprCut()
+        guarantee = guarantee_from_cut(
+            cut,
+            {"s": [(1, "A", 2), (2, "A", 3), (3, "B", 1)]},
+            pending={"s": [1, 2, 3]},
+        )
+        assert guarantee.watermark("s") == 0
+        assert guarantee.exceptions.get("s", ()) == ()
+        assert not guarantee.survives("s", 1)
+
+    def test_pending_op_covered_by_cut_advances_watermark(self):
+        # PENDING only means "unresolved at the client"; if the cut
+        # already covers the version the op executed in, the op is
+        # durable and advances the watermark like any other — it must
+        # not be reported as an exception.
+        cut = DprCut.of(Token("A", 2))
+        guarantee = guarantee_from_cut(
+            cut,
+            {"s": [(1, "A", 1), (2, "A", 2), (3, "A", 4)]},
+            pending={"s": [2]},
+        )
+        assert guarantee.watermark("s") == 2
+        assert "s" not in guarantee.exceptions
+        assert guarantee.survives("s", 2)

@@ -39,13 +39,47 @@ SCENARIO = textwrap.dedent(
 )
 
 
-def run_with_hashseed(seed):
+CHAOS_SCENARIO = textwrap.dedent(
+    """
+    import json
+
+    from repro.cluster import DFasterCluster, DFasterConfig
+    from repro.sim.faults import FaultPlan, LinkFault, MetadataOutage
+
+    plan = FaultPlan(
+        909,
+        links=[LinkFault(drop=0.01, duplicate=0.02, reorder=0.1)],
+        metadata_outages=[MetadataOutage(0.25, 0.27)],
+    )
+    cluster = DFasterCluster(DFasterConfig(
+        n_workers=2, vcpus=2, n_client_machines=1, client_threads=2,
+        batch_size=32, checkpoint_interval=0.05, seed=99, finder="hybrid"),
+        faults=plan)
+    cluster.schedule_failure(0.15)
+    stats = cluster.run(0.35, warmup=0.05)
+    summary = {
+        "committed": sum(c.total_committed() for c in cluster.clients),
+        "aborted": sum(c.total_aborted() for c in cluster.clients),
+        "injected": dict(plan.injected),
+        "retransmissions": cluster.manager.retransmissions,
+        "duplicates_absorbed": sum(
+            w.duplicate_batches for w in cluster.workers),
+        "cut": str(cluster.finder.current_cut()),
+        "world_line": cluster.manager.controller.world_line,
+        "completed": stats.completed.series(0.05),
+    }
+    print(json.dumps(summary, sort_keys=True))
+    """
+)
+
+
+def run_with_hashseed(seed, scenario=SCENARIO):
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = str(seed)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + \
         env.get("PYTHONPATH", "")
     result = subprocess.run(
-        [sys.executable, "-c", SCENARIO],
+        [sys.executable, "-c", scenario],
         capture_output=True, text=True, env=env, cwd=str(REPO_ROOT),
     )
     assert result.returncode == 0, result.stderr
@@ -59,3 +93,18 @@ def test_stats_identical_across_hash_seeds():
     summary = json.loads(first)
     assert summary["committed"] > 0
     assert summary["world_line"] == 1
+
+
+def test_chaos_run_identical_across_hash_seeds():
+    """A faulted run is still a pure function of its seeds: the fault
+    schedule and every downstream consequence (drops, duplicates,
+    retransmissions, absorbed duplicates) must not vary with the
+    interpreter's hash randomization."""
+    first = run_with_hashseed(1, CHAOS_SCENARIO)
+    second = run_with_hashseed(777, CHAOS_SCENARIO)
+    assert first == second
+    summary = json.loads(first)
+    assert summary["committed"] > 0
+    assert summary["injected"]["dropped"] > 0
+    assert summary["injected"]["duplicated"] > 0
+    assert summary["injected"]["metadata_outages"] > 0
