@@ -46,6 +46,7 @@ PROTOCOL_SCOPE: Tuple[str, ...] = (
     "repro.core",
     "repro.cluster",
     "repro.faster",
+    "repro.obs",
 )
 
 #: Module prefixes that legitimately measure host wall-clock time (the
@@ -261,6 +262,7 @@ def all_rules() -> List[Rule]:
     from repro.analysis import (  # noqa: F401
         rules_determinism,
         rules_hygiene,
+        rules_observability,
         rules_protocol,
     )
 

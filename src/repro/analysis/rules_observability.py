@@ -1,0 +1,149 @@
+"""Observability rules (DPR-O01).
+
+The tracing layer is only safe to thread through the deterministic
+simulation because it is an *observer*: ``repro.obs`` sits below every
+protocol package, and the hook calls sprinkled through kernel, network,
+worker, finder-service and client code record values without feeding
+anything back.  Both halves of that contract are code shape, so both
+are checked here:
+
+- **layering** — modules inside ``repro.obs`` import nothing from the
+  rest of ``repro`` (otherwise the kernel could not hold a tracer
+  without an import cycle, and a tracer could reach protocol state);
+- **hook purity** — a tracer hook call site in protocol code must
+  discard the hook's result (hooks return ``None``; using the value
+  means simulation behaviour depends on tracing being enabled) and must
+  not smuggle side effects through its arguments (no walrus bindings,
+  no calls to mutating container methods): with those shapes banned,
+  deleting every hook call provably cannot change protocol state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from repro.analysis.framework import (
+    Finding,
+    ModuleInfo,
+    ModuleRule,
+    PROTOCOL_SCOPE,
+    Project,
+    dotted_name,
+    register,
+)
+
+#: The observability package; its modules must be repro-import-free.
+OBS_PACKAGE = "repro.obs"
+
+#: Receiver names that identify a tracer hook call site.  The rule is
+#: nominal on purpose: protocol code passes tracers around under these
+#: names (``env.tracer``, ``self.tracer``, ``plan._tracer``, a local
+#: ``tracer``), and a nominal match keeps the check decidable.
+TRACER_NAMES = ("tracer", "_tracer")
+
+#: The Tracer hook surface (methods that record; all return None).
+HOOK_METHODS = frozenset({
+    "counter", "gauge", "queue_depth", "event", "span",
+    "begin_span", "end_span", "cancel_span", "end_spans",
+})
+
+#: Container-mutator method names; a hook argument calling one of these
+#: would mutate protocol state as a side effect of tracing.  (Shared
+#: shape with DPR-P02's accessor analysis.)
+MUTATOR_METHODS = frozenset({
+    "append", "add", "clear", "discard", "extend", "insert",
+    "pop", "popitem", "remove", "update", "setdefault",
+})
+
+
+def _is_tracer_hook_call(node: ast.Call) -> bool:
+    """``<...>.tracer.<hook>(...)`` or ``tracer.<hook>(...)``."""
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr not in HOOK_METHODS:
+        return False
+    chain = dotted_name(func.value)
+    if chain is None:
+        return False
+    return chain.split(".")[-1] in TRACER_NAMES
+
+
+def _argument_side_effects(call: ast.Call) -> Iterator[ast.AST]:
+    """Nodes inside the call's arguments that would mutate state."""
+    arguments = list(call.args) + [kw.value for kw in call.keywords]
+    for argument in arguments:
+        for node in ast.walk(argument):
+            if isinstance(node, ast.NamedExpr):
+                yield node
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in MUTATOR_METHODS):
+                yield node
+
+
+@register
+class ObsHookPurityRule(ModuleRule):
+    """DPR-O01: observability must not feed back into the protocol.
+
+    Inside ``repro.obs``: no imports from other ``repro`` packages.
+    Everywhere in protocol scope: tracer hook calls must be bare
+    expression statements with side-effect-free arguments.
+    """
+
+    id = "DPR-O01"
+    title = "observability hook feeds back into protocol state"
+    scope = PROTOCOL_SCOPE
+
+    def check_module(self, module: ModuleInfo,
+                     project: Project) -> Iterator[Finding]:
+        if (module.module == OBS_PACKAGE
+                or module.module.startswith(OBS_PACKAGE + ".")):
+            yield from self._check_obs_imports(module)
+            return
+        yield from self._check_hook_sites(module)
+
+    def _check_obs_imports(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                origins = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    continue  # relative: stays inside the package
+                origins = [node.module or ""]
+            else:
+                continue
+            for origin in origins:
+                if (origin.split(".")[0] == "repro"
+                        and origin != OBS_PACKAGE
+                        and not origin.startswith(OBS_PACKAGE + ".")):
+                    yield module.finding(
+                        self, node,
+                        f"repro.obs must not import {origin!r}: the "
+                        f"observability layer sits below every protocol "
+                        f"package (import it the other way around)")
+
+    def _check_hook_sites(self, module: ModuleInfo) -> Iterator[Finding]:
+        parents: Dict[int, ast.AST] = {}
+        for parent in ast.walk(module.tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[id(child)] = parent
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not _is_tracer_hook_call(node):
+                continue
+            parent = parents.get(id(node))
+            if not isinstance(parent, ast.Expr):
+                yield module.finding(
+                    self, node,
+                    "tracer hook result must be discarded (hooks return "
+                    "None; consuming the value makes protocol behaviour "
+                    "depend on whether tracing is enabled)")
+            for offender in _argument_side_effects(node):
+                what = ("walrus binding"
+                        if isinstance(offender, ast.NamedExpr)
+                        else f"call to mutator "
+                             f"'.{offender.func.attr}()'")  # type: ignore[attr-defined]
+                yield module.finding(
+                    self, offender,
+                    f"tracer hook argument has a side effect ({what}): "
+                    f"hook calls must be deletable without changing "
+                    f"protocol state")

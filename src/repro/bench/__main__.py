@@ -1,13 +1,16 @@
-"""Command-line figure runner.
+"""Command-line figure runner and artifact comparator.
 
 Usage::
 
-    python -m repro.bench fig13              # one figure
-    python -m repro.bench fig10 --scale 0.5  # half-length windows
+    python -m repro.bench fig13                   # one figure
+    python -m repro.bench fig10 --scale 0.5       # half-length windows
     python -m repro.bench all -o results.txt
+    python -m repro.bench fig10 --json-dir out/   # + BENCH_fig10.json
+    python -m repro.bench --compare base.json cur.json --tolerance 0.15
 
 The pytest benchmarks in ``benchmarks/`` remain the source of truth for
-shape assertions; this entry point is for quick interactive sweeps.
+shape assertions; this entry point is for quick interactive sweeps and
+for the CI perf-regression gate (``--compare`` exits 1 on regression).
 """
 
 from __future__ import annotations
@@ -15,20 +18,40 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
-from repro.bench.figures import FIGURES, generate
+from repro.bench import artifacts
+from repro.bench.figures import FIGURES, generate, generate_artifact
+
+
+def _run_compare(base_path: str, current_path: str,
+                 tolerance: float) -> int:
+    baseline = artifacts.load_artifact(base_path)
+    current = artifacts.load_artifact(current_path)
+    findings = artifacts.compare(baseline, current, tolerance=tolerance)
+    if findings:
+        print(f"REGRESSION: {len(findings)} experiment(s) below "
+              f"baseline (tolerance {tolerance:.0%})")
+        for finding in findings:
+            print(f"  - {finding}")
+        return 1
+    print(f"OK: {len(current['experiments'])} experiment(s) within "
+          f"{tolerance:.0%} of baseline "
+          f"({baseline['commit'][:12]} -> {current['commit'][:12]})")
+    return 0
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's evaluation figures on the "
-                    "simulated testbed.",
+                    "simulated testbed, or compare two BENCH_*.json "
+                    "artifacts.",
     )
     parser.add_argument(
-        "figure",
+        "figure", nargs="?",
         choices=sorted(FIGURES) + ["all"],
-        help="which figure to regenerate",
+        help="which figure to regenerate (omit with --compare)",
     )
     parser.add_argument(
         "--scale", type=float, default=1.0,
@@ -39,14 +62,46 @@ def main(argv=None) -> int:
         "-o", "--output", default=None,
         help="also write the table(s) to this file",
     )
+    parser.add_argument(
+        "--json-dir", default=None, metavar="DIR",
+        help="also write a BENCH_<figure>.json artifact into DIR",
+    )
+    parser.add_argument(
+        "--compare", nargs=2, metavar=("BASELINE", "CURRENT"),
+        help="compare two BENCH_*.json artifacts; exit 1 if CURRENT "
+             "regressed beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="fractional throughput-regression tolerance for --compare "
+             "(default 0.15)",
+    )
     args = parser.parse_args(argv)
 
+    if args.compare:
+        return _run_compare(args.compare[0], args.compare[1],
+                            args.tolerance)
+    if args.figure is None:
+        parser.error("a figure name (or --compare) is required")
+
+    json_dir = None if args.json_dir is None else Path(args.json_dir)
+    figures = list(FIGURES) if args.figure == "all" else [args.figure]
     # Monotonic elapsed-time measurement; wall-clock (time.time) is
     # banned repo-wide by dprlint DPR-D01, and repro.bench is on the
     # linter's timer allowlist precisely for this call.
     started = time.perf_counter()
-    text = generate(args.figure, scale=args.scale)
+    texts = []
+    for figure in figures:
+        if json_dir is not None:
+            text, artifact = generate_artifact(figure, scale=args.scale)
+            path = json_dir / artifacts.artifact_name(figure)
+            artifacts.write_artifact(artifact, path)
+            print(f"[wrote {path}]")
+        else:
+            text = generate(figure, scale=args.scale)
+        texts.append(text)
     elapsed = time.perf_counter() - started
+    text = "\n\n".join(texts)
     print(text)
     print(f"\n[{args.figure} generated in {elapsed:.1f}s wall-clock]")
     if args.output:

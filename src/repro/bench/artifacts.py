@@ -1,0 +1,176 @@
+"""Machine-readable benchmark artifacts (``BENCH_<figure>.json``).
+
+One artifact captures one figure sweep: run metadata (schema version,
+figure, scale, commit), one entry per experiment (label, seed,
+throughput, latency summaries from the stats reservoirs, per-phase
+trace aggregates from the run's :class:`~repro.obs.Tracer`), and the
+figure-level phase aggregates merged across experiments.
+
+Artifacts are **deterministic**: no timestamps, no host information, no
+wall-clock durations — two runs of the same figure at the same scale on
+the same commit produce byte-identical files.  That is what lets CI
+compare against a checked-in baseline with a plain tolerance check
+instead of a noise model:
+
+    python -m repro.bench --compare baseline.json current.json
+
+``compare`` flags any experiment whose throughput fell more than
+``tolerance`` below the baseline and exits nonzero, which is the whole
+CI perf-regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import ExperimentResult
+from repro.obs import merge_phase_stats
+
+#: Artifact schema identifier; bump on breaking format changes.
+SCHEMA = "repro.bench/v1"
+
+#: Experiment keys every artifact entry must carry.
+_EXPERIMENT_KEYS = ("label", "seed", "throughput_mops",
+                    "commit_throughput_mops", "operation_latency",
+                    "commit_latency", "phases")
+
+
+def git_commit(repo_root: Optional[Path] = None) -> str:
+    """The current commit SHA, without invoking git.
+
+    Read straight from ``.git/HEAD`` (following one level of symbolic
+    ref) so artifact generation works in minimal environments; CI's
+    detached-HEAD checkouts store the SHA directly in HEAD.  Falls back
+    to ``GITHUB_SHA`` and then ``"unknown"``.
+    """
+    if repo_root is None:
+        repo_root = Path(__file__).resolve().parents[3]
+    head = repo_root / ".git" / "HEAD"
+    try:
+        content = head.read_text().strip()
+        if content.startswith("ref:"):
+            ref = repo_root / ".git" / content.split(None, 1)[1]
+            return ref.read_text().strip()
+        if content:
+            return content
+    except OSError:
+        pass
+    return os.environ.get("GITHUB_SHA", "unknown")
+
+
+def build_artifact(figure: str, scale: float,
+                   results: Sequence[ExperimentResult],
+                   commit: Optional[str] = None) -> Dict:
+    """Assemble the artifact dict for one figure sweep."""
+    return {
+        "schema": SCHEMA,
+        "figure": figure,
+        "scale": scale,
+        "commit": git_commit() if commit is None else commit,
+        "experiments": [
+            {
+                "label": result.label,
+                "seed": result.seed,
+                "throughput_mops": result.throughput_mops,
+                "commit_throughput_mops": result.commit_throughput_mops,
+                "operation_latency": result.operation_latency,
+                "commit_latency": result.commit_latency,
+                "phases": result.phases,
+            }
+            for result in results
+        ],
+        "phases": merge_phase_stats(r.tracer for r in results),
+    }
+
+
+def validate(artifact: Dict) -> None:
+    """Raise ValueError unless ``artifact`` matches the v1 schema."""
+    if not isinstance(artifact, dict):
+        raise ValueError("artifact must be a JSON object")
+    if artifact.get("schema") != SCHEMA:
+        raise ValueError(
+            f"unsupported schema {artifact.get('schema')!r}; "
+            f"expected {SCHEMA!r}")
+    for key in ("figure", "scale", "commit", "experiments", "phases"):
+        if key not in artifact:
+            raise ValueError(f"artifact missing key {key!r}")
+    if not isinstance(artifact["experiments"], list):
+        raise ValueError("experiments must be a list")
+    for index, experiment in enumerate(artifact["experiments"]):
+        for key in _EXPERIMENT_KEYS:
+            if key not in experiment:
+                raise ValueError(
+                    f"experiment #{index} missing key {key!r}")
+        for latency in ("operation_latency", "commit_latency"):
+            summary = experiment[latency]
+            for stat in ("count", "mean", "p50", "p95", "p99"):
+                if stat not in summary:
+                    raise ValueError(
+                        f"experiment #{index} {latency} missing {stat!r}")
+
+
+def dumps(artifact: Dict) -> str:
+    """Canonical serialization (sorted keys, stable layout)."""
+    return json.dumps(artifact, indent=1, sort_keys=True) + "\n"
+
+
+def write_artifact(artifact: Dict, path) -> None:
+    validate(artifact)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps(artifact))
+
+
+def load_artifact(path) -> Dict:
+    with open(path) as handle:
+        artifact = json.load(handle)
+    validate(artifact)
+    return artifact
+
+
+def artifact_name(figure: str) -> str:
+    return f"BENCH_{figure}.json"
+
+
+def compare(baseline: Dict, current: Dict,
+            tolerance: float = 0.15) -> List[str]:
+    """Regressions of ``current`` against ``baseline``.
+
+    Returns a list of human-readable findings (empty = pass).  An
+    experiment regresses when its throughput falls more than
+    ``tolerance`` (fractional) below the baseline's.  Experiments are
+    matched positionally — labels within one figure are not unique
+    (fig10 runs the same backend label at several cluster sizes), but
+    sweep order is deterministic — and a changed label sequence,
+    figure, or scale is an error, not a regression.
+    """
+    validate(baseline)
+    validate(current)
+    for key in ("figure", "scale"):
+        if baseline[key] != current[key]:
+            raise ValueError(
+                f"cannot compare: {key} differs "
+                f"({baseline[key]!r} vs {current[key]!r})")
+    base_labels = [e["label"] for e in baseline["experiments"]]
+    cur_labels = [e["label"] for e in current["experiments"]]
+    if base_labels != cur_labels:
+        raise ValueError(
+            f"cannot compare: experiment sequence differs "
+            f"({base_labels} vs {cur_labels})")
+    findings = []
+    for base, cur in zip(baseline["experiments"], current["experiments"]):
+        reference = base["throughput_mops"]
+        observed = cur["throughput_mops"]
+        if reference <= 0.0:
+            continue
+        floor = reference * (1.0 - tolerance)
+        if observed < floor:
+            drop = 100.0 * (reference - observed) / reference
+            findings.append(
+                f"{baseline['figure']} [{base['label']}]: throughput "
+                f"{observed:.4f} Mops/s is {drop:.1f}% below baseline "
+                f"{reference:.4f} Mops/s (tolerance {tolerance:.0%})")
+    return findings

@@ -13,7 +13,12 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.baselines import RecoverabilityLevel, run_recoverability_matrix
-from repro.bench.harness import run_dfaster_experiment, run_dredis_experiment
+from repro.bench.artifacts import build_artifact
+from repro.bench.harness import (
+    collect_results,
+    run_dfaster_experiment,
+    run_dredis_experiment,
+)
 from repro.bench.report import format_table
 from repro.cluster.dredis import RedisMode
 from repro.sim.storage import StorageKind
@@ -222,3 +227,20 @@ def generate(name: str, scale: float = 1.0) -> str:
         raise KeyError(f"unknown figure {name!r}; known: {known}, all")
     title, rows = FIGURES[name](scale)
     return format_table(rows, title=title)
+
+
+def generate_artifact(name: str, scale: float = 1.0):
+    """Render one figure and build its ``BENCH_<figure>.json`` payload.
+
+    Returns ``(text, artifact)``.  The artifact carries every
+    experiment the sweep ran (captured via the harness collector, since
+    the fig* functions themselves only return selected columns) plus
+    merged per-phase trace aggregates.
+    """
+    if name not in FIGURES:
+        known = ", ".join(sorted(FIGURES))
+        raise KeyError(f"unknown figure {name!r}; known: {known}")
+    with collect_results() as results:
+        title, rows = FIGURES[name](scale)
+    text = format_table(rows, title=title)
+    return text, build_artifact(name, scale, results)

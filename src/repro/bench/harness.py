@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.dfaster import DFasterCluster, DFasterConfig
 from repro.cluster.dredis import DRedisCluster, DRedisConfig
 from repro.cluster.stats import ClusterStats
+from repro.obs import Tracer
 
 
 @dataclass
@@ -20,6 +22,11 @@ class ExperimentResult:
     operation_latency: Dict[str, float]
     commit_latency: Dict[str, float]
     stats: ClusterStats = field(repr=False, default=None)
+    #: Per-phase trace aggregates (phase name -> summary dict); empty
+    #: when the run was untraced.
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    seed: int = 0
+    tracer: Optional[Tracer] = field(repr=False, default=None)
 
     def row(self) -> Dict[str, float]:
         return {
@@ -31,9 +38,29 @@ class ExperimentResult:
         }
 
 
+#: Active result collectors (a stack, so nested collection composes).
+#: Every ExperimentResult built while a collector is open is appended
+#: to it — this is how figure sweeps, whose fig* functions predate the
+#: artifact layer and only return selected numbers, still hand every
+#: run's full result to the artifact builder.
+_collectors: List[List[ExperimentResult]] = []
+
+
+@contextmanager
+def collect_results():
+    """Collect every ExperimentResult produced inside the block."""
+    bucket: List[ExperimentResult] = []
+    _collectors.append(bucket)
+    try:
+        yield bucket
+    finally:
+        _collectors.remove(bucket)
+
+
 def _summarize(label: str, stats: ClusterStats, warmup: float,
-               duration: float) -> ExperimentResult:
-    return ExperimentResult(
+               duration: float, seed: int = 0,
+               tracer: Optional[Tracer] = None) -> ExperimentResult:
+    result = ExperimentResult(
         label=label,
         throughput_mops=stats.throughput(
             start=warmup, end=duration, duration=duration - warmup) / 1e6,
@@ -42,7 +69,13 @@ def _summarize(label: str, stats: ClusterStats, warmup: float,
         operation_latency=stats.operation_latency.summary(),
         commit_latency=stats.commit_latency.summary(),
         stats=stats,
+        phases=tracer.phase_summary() if tracer is not None else {},
+        seed=seed,
+        tracer=tracer,
     )
+    for bucket in _collectors:
+        bucket.append(result)
+    return result
 
 
 def run_dfaster_experiment(label: str, duration: float = 0.3,
@@ -51,11 +84,15 @@ def run_dfaster_experiment(label: str, duration: float = 0.3,
                            failures: Tuple[float, ...] = (),
                            **overrides) -> ExperimentResult:
     """Run one D-FASTER configuration and summarize it."""
+    if config is None and "tracer" not in overrides:
+        overrides["tracer"] = Tracer()
     cluster = DFasterCluster(config, **overrides)
     for at_time in failures:
         cluster.schedule_failure(at_time)
     stats = cluster.run(duration, warmup)
-    return _summarize(label, stats, warmup, duration)
+    return _summarize(label, stats, warmup, duration,
+                      seed=cluster.config.seed,
+                      tracer=cluster.config.tracer)
 
 
 def run_dredis_experiment(label: str, duration: float = 0.3,
@@ -63,6 +100,10 @@ def run_dredis_experiment(label: str, duration: float = 0.3,
                           config: Optional[DRedisConfig] = None,
                           **overrides) -> ExperimentResult:
     """Run one D-Redis/Redis configuration and summarize it."""
+    if config is None and "tracer" not in overrides:
+        overrides["tracer"] = Tracer()
     cluster = DRedisCluster(config, **overrides)
     stats = cluster.run(duration, warmup)
-    return _summarize(label, stats, warmup, duration)
+    return _summarize(label, stats, warmup, duration,
+                      seed=cluster.config.seed,
+                      tracer=cluster.config.tracer)

@@ -67,9 +67,10 @@ class BatchSession:
     """Client-side DPR session operating at batch granularity."""
 
     def __init__(self, session_id: str, stats: ClusterStats,
-                 ids: Optional[BatchIds] = None):
+                 ids: Optional[BatchIds] = None, tracer=None):
         self.session_id = session_id
         self.stats = stats
+        self.tracer = tracer
         self._ids = ids if ids is not None else BatchIds()
         self.world_line = 0
         #: Vs — the largest version seen (§3.2).
@@ -191,6 +192,10 @@ class BatchSession:
             self.committed_ops += record.op_count
             self.stats.committed.add(now, record.op_count)
             self.stats.commit_latency.add(now - record.created_at)
+            if self.tracer is not None:
+                self.tracer.span("client.commit", now,
+                                 now - record.created_at,
+                                 session=self.session_id)
 
     # -- failure handling -------------------------------------------------------
 
@@ -267,7 +272,8 @@ class ClientMachine:
         self.running = True
         for thread in range(n_threads):
             session_id = f"{address}/s{thread}"
-            session = BatchSession(session_id, stats, ids=self._batch_ids)
+            session = BatchSession(session_id, stats, ids=self._batch_ids,
+                                   tracer=env.tracer)
             self.sessions[session_id] = session
             env.process(self._issue_loop(session, spawn(self._rng, session_id)),
                         name=f"client:{session_id}")

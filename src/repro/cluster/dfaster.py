@@ -70,6 +70,9 @@ class DFasterConfig:
     #: Chaos testing: a seeded fault-injection plan applied to the
     #: network and the metadata store (None = fault-free).
     faults: Optional[FaultPlan] = None
+    #: Observability: a :class:`repro.obs.Tracer` shared by every layer
+    #: of this cluster (None = tracing off, zero recording overhead).
+    tracer: Optional[object] = None
 
 
 class DFasterCluster:
@@ -87,8 +90,10 @@ class DFasterCluster:
         elif overrides:
             config = replace(config, **overrides)
         self.config = config
-        self.env = Environment()
+        self.env = Environment(tracer=config.tracer)
         self._rng = make_rng(config.seed)
+        if config.faults is not None and config.tracer is not None:
+            config.faults.bind_tracer(config.tracer)
         self.net = Network(self.env, NetworkConfig(),
                            rng=spawn(self._rng, "net"),
                            faults=config.faults)
@@ -275,7 +280,8 @@ class _ColocatedDriver:
         for thread in range(config.vcpus):
             session_id = f"{worker.address}/co{thread}"
             session = BatchSession(session_id, cluster.stats,
-                                   ids=self._batch_ids)
+                                   ids=self._batch_ids,
+                                   tracer=cluster.env.tracer)
             self.sessions[session_id] = session
             cluster.env.process(
                 self._loop(session, spawn(cluster._rng, session_id)),
@@ -372,6 +378,9 @@ class _ColocatedDriver:
                     dpr=worker.dpr_enabled,
                 )
                 yield env.timeout(service)
+                if env.tracer is not None:
+                    env.tracer.span("worker.batch_service", env.now,
+                                    service, worker=worker.address)
                 reply = worker._execute(item)
                 worker.batches_served += 1
                 cluster.net.send(worker.address, item.reply_to, reply,

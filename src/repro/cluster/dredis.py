@@ -79,6 +79,9 @@ class DRedisConfig:
     #: Chaos testing: a seeded fault-injection plan applied to the
     #: network and the metadata store (None = fault-free).
     faults: Optional[FaultPlan] = None
+    #: Observability: a :class:`repro.obs.Tracer` shared by every layer
+    #: of this cluster (None = tracing off, zero recording overhead).
+    tracer: Optional[object] = None
 
 
 class _RedisInstance:
@@ -113,6 +116,9 @@ class _RedisInstance:
                 aof_eventual=(aof == "everysec"),
             )
             yield env.timeout(service)
+            if env.tracer is not None:
+                env.tracer.span("worker.batch_service", env.now, service,
+                                worker=f"redis-{self.shard_id}")
             self.commands += request.op_count
             respond(request)
 
@@ -276,6 +282,10 @@ class _DRedisProxy:
                 self.engine.fast_forward(self.cached_max_version)
             self._flush_autosealed()
             descriptor = self.engine.seal_version()
+            if env.tracer is not None:
+                env.tracer.begin_span(
+                    "worker.persist_lag",
+                    (self.address, descriptor.token.version), env.now)
             self.cluster.net.send(self.address, "dpr-finder",
                                   SealReport(descriptor), size_ops=1)
             # Exclusive latch: BGSAVE through the Redis command queue.
@@ -286,6 +296,10 @@ class _DRedisProxy:
             version = descriptor.token.version
             yield self.device.write(self.engine.checkpoint_bytes(version))
             self.engine.mark_persisted(version)
+            if env.tracer is not None:
+                env.tracer.end_span("worker.persist_lag",
+                                    (self.address, version), env.now,
+                                    worker=self.address)
             self.cluster.net.send(self.address, "dpr-finder",
                                   PersistReport(self.address, version),
                                   size_ops=1)
@@ -315,6 +329,11 @@ class _DRedisProxy:
             # Restore() restarts the Redis instance (§6): the restart
             # dwarfs THROW-style windows.
             yield env.timeout(cost.rollback_window * 2)
+            if env.tracer is not None:
+                env.tracer.span("worker.rollback", env.now,
+                                cost.rollback_window * 2,
+                                worker=self.address,
+                                world_line=command.world_line)
         self.cluster.net.send(self.address, "cluster-manager",
                               RollbackDone(self.address, command.world_line),
                               size_ops=1)
@@ -329,8 +348,10 @@ class DRedisCluster:
         elif overrides:
             config = replace(config, **overrides)
         self.config = config
-        self.env = Environment()
+        self.env = Environment(tracer=config.tracer)
         self._rng = make_rng(config.seed)
+        if config.faults is not None and config.tracer is not None:
+            config.faults.bind_tracer(config.tracer)
         self.net = Network(self.env, NetworkConfig(),
                            rng=spawn(self._rng, "net"),
                            faults=config.faults)

@@ -104,6 +104,13 @@ class FinderService:
                 self.finder.report_persisted(
                     Token(payload.object_id, payload.version)
                 )
+                if self.env.tracer is not None:
+                    # Durability is reported; the version now waits for
+                    # the cut to advance past it (closed in _tick_loop).
+                    self.env.tracer.begin_span(
+                        "dpr.cut_lag",
+                        (payload.object_id, payload.version),
+                        self.env.now)
 
     def _tick_loop(self):
         env = self.env
@@ -125,6 +132,14 @@ class FinderService:
             cut = self.finder.tick()
             self.ticks += 1
             vmax = self.finder.max_version()
+            tracer = env.tracer
+            if tracer is not None:
+                tracer.counter("finder.ticks")
+                tracer.span("finder.tick", env.now, env.now - started)
+                tracer.end_spans(
+                    "dpr.cut_lag", env.now,
+                    lambda key: key[1] <= cut.version_of(key[0]))
+                self._mirror_finder_gauges(tracer)
             # Anti-entropy: a changed cut broadcasts immediately, and an
             # unchanged one is still re-sent periodically — a worker that
             # lost the last broadcast must not stay stale forever.
@@ -140,6 +155,24 @@ class FinderService:
                 )
                 for worker in self.workers:
                     self.net.send(self.address, worker, broadcast, size_ops=1)
+
+    def _mirror_finder_gauges(self, tracer) -> None:
+        """Mirror the finder's own cost counters into the tracer.
+
+        The core finder algorithms stay observability-free; the service
+        reads whichever counters the configured algorithm exposes
+        (exact: graph traversal writes; approximate/hybrid: durable
+        table scans; hybrid: coordinator crashes)."""
+        for attribute, gauge in (
+            ("graph_writes", "finder.graph_writes"),
+            ("table_scans", "finder.table_scans"),
+            ("coordinator_crashes", "finder.coordinator_crashes"),
+        ):
+            value = getattr(self.finder, attribute, None)
+            if value is not None:
+                tracer.gauge(gauge, value)
+        tracer.gauge("finder.coordinator_failovers",
+                     self.coordinator_failovers)
 
 
 class ClusterManager:
@@ -213,6 +246,9 @@ class ClusterManager:
             "started_at": self.env.now,
             "finished_at": None,
         })
+        if self.env.tracer is not None:
+            self.env.tracer.begin_span("recovery", plan.world_line,
+                                       self.env.now)
         command = RollbackCommand(world_line=plan.world_line, cut=plan.cut)
         for worker in self.workers:
             self.net.send(self.address, worker, command, size_ops=1)
@@ -284,6 +320,8 @@ class ClusterManager:
             "started_at": env.now,
             "finished_at": None,
         })
+        if env.tracer is not None:
+            env.tracer.begin_span("recovery", plan.world_line, env.now)
         command = RollbackCommand(world_line=plan.world_line, cut=plan.cut)
         for survivor in self.workers:
             if survivor != worker_id:
@@ -327,3 +365,7 @@ class ClusterManager:
                 if (record["world_line"] == payload.world_line
                         and record["finished_at"] is None):
                     record["finished_at"] = self.env.now
+                    if self.env.tracer is not None:
+                        self.env.tracer.end_span(
+                            "recovery", payload.world_line, self.env.now,
+                            world_line=payload.world_line)

@@ -209,6 +209,9 @@ class DFasterWorker:
                 self._slowdown(), dpr=self.dpr_enabled,
             )
             yield env.timeout(service)
+            if env.tracer is not None:
+                env.tracer.span("worker.batch_service", env.now, service,
+                                worker=self.address)
             reply = self._execute(request)
             self.batches_served += 1
             self.net.send(self.address, request.reply_to, reply,
@@ -354,6 +357,11 @@ class DFasterWorker:
         self._machine_busy = False
 
     def _report_seal(self, descriptor) -> None:
+        if self.env.tracer is not None:
+            self.env.tracer.begin_span(
+                "worker.persist_lag",
+                (self.engine.object_id, descriptor.token.version),
+                self.env.now)
         if self.dpr_enabled and self.finder_address:
             self.net.send(self.address, self.finder_address,
                           SealReport(descriptor), size_ops=1)
@@ -364,30 +372,46 @@ class DFasterWorker:
         while True:
             descriptor, done = yield self._flush_queue.get()
             version = descriptor.token.version
+            span_key = (self.engine.object_id, version)
             if not self.engine.is_sealed(version):
                 # A rollback dropped this sealed version before its
                 # flush ran; nothing to persist.
+                if env.tracer is not None:
+                    env.tracer.cancel_span("worker.persist_lag", span_key)
                 if done is not None and not done.triggered:
                     done.succeed()
                 continue
             self._flushing = True
+            flush_started = env.now
             try:
                 yield self.device.write(self.engine.checkpoint_bytes(version))
             except IOError:
                 # Device crashed mid-flush; the version never persists.
                 self._flushing = False
+                if env.tracer is not None:
+                    env.tracer.cancel_span("worker.persist_lag", span_key)
                 if done is not None and not done.triggered:
                     done.succeed()
                 continue
             self._flushing = False
+            if env.tracer is not None:
+                env.tracer.span("worker.flush", env.now,
+                                env.now - flush_started,
+                                worker=self.address)
             if self.engine.is_sealed(version):
                 self.engine.mark_persisted(version)
+                if env.tracer is not None:
+                    env.tracer.end_span("worker.persist_lag", span_key,
+                                        env.now, worker=self.address)
                 if self.dpr_enabled and self.finder_address:
                     self.net.send(
                         self.address, self.finder_address,
                         PersistReport(self.engine.object_id, version),
                         size_ops=1,
                     )
+            elif env.tracer is not None:
+                # Rolled back while the flush was in flight.
+                env.tracer.cancel_span("worker.persist_lag", span_key)
             if done is not None and not done.triggered:
                 done.succeed()
 
@@ -409,10 +433,16 @@ class DFasterWorker:
         """
         env = self.env
         target = command.cut.version_of(self.engine.object_id)
-        if command.world_line > self.engine.world_line.current:
+        applied = command.world_line > self.engine.world_line.current
+        if applied:
             self.engine.restore(target, world_line=command.world_line)
             self.cached_cut = command.cut
         yield env.timeout(self.cost.rollback_window)
+        if applied and env.tracer is not None:
+            env.tracer.span("worker.rollback", env.now,
+                            self.cost.rollback_window,
+                            worker=self.address,
+                            world_line=command.world_line)
         if self.manager_address:
             self.net.send(self.address, self.manager_address,
                           RollbackDone(self.address, command.world_line),

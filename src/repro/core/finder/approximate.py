@@ -25,6 +25,13 @@ from repro.core.versioning import NEVER_COMMITTED, CommitDescriptor, Token
 class ApproximateDprFinder(DprFinder):
     """Min-version cut finder; imprecise but dependency-free."""
 
+    def __init__(self, table=None):
+        super().__init__(table)
+        #: Aggregate scans of the durable version table, the algorithm's
+        #: dominant cost (two SQL aggregates per tick, pushed down to
+        #: the metadata store).
+        self.table_scans = 0
+
     def report_seal(self, descriptor: CommitDescriptor) -> None:
         """Dependencies are deliberately discarded (that is the point)."""
 
@@ -39,6 +46,7 @@ class ApproximateDprFinder(DprFinder):
         invariant means each object has a durable checkpoint covering
         exactly its operations at versions ``<= Vmin``.
         """
+        self.table_scans += 1
         minimum = self.table.min_version()
         if minimum <= NEVER_COMMITTED:
             return self._publish(DprCut())

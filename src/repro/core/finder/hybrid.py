@@ -34,6 +34,9 @@ class HybridDprFinder(DprFinder):
         #: once the approximate Vmin has passed them.
         self._graph_floor = NEVER_COMMITTED
         self.coordinator_crashes = 0
+        #: Aggregate scans of the durable version table (the approximate
+        #: half runs on every tick regardless of graph health).
+        self.table_scans = 0
 
     def report_seal(self, descriptor: CommitDescriptor) -> None:
         self.graph.add_commit(descriptor)
@@ -66,6 +69,7 @@ class HybridDprFinder(DprFinder):
 
     def _compute(self) -> DprCut:
         """Approximate cut, upgraded by the exact graph where trustable."""
+        self.table_scans += 1
         minimum = self.table.min_version()
         cut = DprCut()
         if minimum > NEVER_COMMITTED:

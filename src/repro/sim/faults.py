@@ -138,6 +138,17 @@ class FaultPlan:
             "metadata_outages": 0,
             "metadata_spikes": 0,
         }
+        self._tracer = None
+
+    def bind_tracer(self, tracer) -> None:
+        """Mirror every future ``injected`` increment into ``tracer``
+        counters (``faults.dropped`` etc.).  Pass None to unbind."""
+        self._tracer = tracer
+
+    def _inject(self, kind: str) -> None:
+        self.injected[kind] += 1
+        if self._tracer is not None:
+            self._tracer.counter("faults." + kind)
 
     def replay(self) -> "FaultPlan":
         """A fresh plan with the same schedule and a rewound RNG.
@@ -165,23 +176,23 @@ class FaultPlan:
         """
         for partition in self.partitions:
             if partition.severs(src, dst, now):
-                self.injected["partitioned"] += 1
+                self._inject("partitioned")
                 return []
         rule = self._rule_for(src, dst)
         if rule is None:
             return [0.0]
         rng = self._rng
         if rule.drop > 0.0 and rng.random() < rule.drop:
-            self.injected["dropped"] += 1
+            self._inject("dropped")
             return []
         extra = 0.0
         if rule.reorder > 0.0 and rng.random() < rule.reorder:
             extra = rng.uniform(0.0, rule.reorder_delay)
-            self.injected["reordered"] += 1
+            self._inject("reordered")
         copies = [extra]
         if rule.duplicate > 0.0 and rng.random() < rule.duplicate:
             copies.append(extra + rng.uniform(0.0, rule.reorder_delay))
-            self.injected["duplicated"] += 1
+            self._inject("duplicated")
         return copies
 
     def _rule_for(self, src: str, dst: str) -> Optional[LinkFault]:
@@ -197,10 +208,10 @@ class FaultPlan:
         delay = 0.0
         for outage in self.metadata_outages:
             if outage.start <= now < outage.end:
-                self.injected["metadata_outages"] += 1
+                self._inject("metadata_outages")
                 delay = max(delay, outage.end - now)
         for spike in self.metadata_spikes:
             if spike.start <= now < spike.end:
-                self.injected["metadata_spikes"] += 1
+                self._inject("metadata_spikes")
                 delay += spike.extra
         return delay

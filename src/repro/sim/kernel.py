@@ -251,7 +251,7 @@ class Process(Event):
 class Environment:
     """Event loop holding the simulation clock and the pending-event heap."""
 
-    def __init__(self, strict: bool = True):
+    def __init__(self, strict: bool = True, tracer: Optional[Any] = None):
         self._now: float = 0.0
         self._heap: List[tuple] = []
         self._sequence = 0
@@ -259,6 +259,11 @@ class Environment:
         #: When True, exceptions escaping a process abort the simulation
         #: instead of being stored as the process's failure value.
         self.strict = strict
+        #: Optional :class:`repro.obs.Tracer`.  The kernel never imports
+        #: ``repro.obs``; any object with the hook methods works.  When
+        #: None (the default) instrumented code pays one identity test
+        #: per hook site and records nothing.
+        self.tracer = tracer
 
     @property
     def now(self) -> float:
@@ -284,6 +289,8 @@ class Environment:
         return Timeout(self, delay, value)
 
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        if self.tracer is not None:
+            self.tracer.counter("kernel.processes")
         return Process(self, generator, name=name)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
@@ -297,6 +304,7 @@ class Environment:
         if self._running:
             raise SimulationError("environment is already running")
         self._running = True
+        tracer = self.tracer
         try:
             while self._heap:
                 when, _seq, event = self._heap[0]
@@ -305,6 +313,9 @@ class Environment:
                     return
                 heapq.heappop(self._heap)
                 self._now = when
+                if tracer is not None:
+                    tracer.counter("kernel.dispatched")
+                    tracer.queue_depth("kernel.heap", len(self._heap))
                 if not event._triggered:
                     # Deferred triggers (timeouts) fire when popped.
                     event._triggered = True

@@ -122,13 +122,18 @@ class Network:
         """
         sender = self._endpoints[src]
         target = self._endpoints[dst]
+        tracer = self.env.tracer
         if not sender.up or not target.up:
             target.dropped += 1
+            if tracer is not None:
+                tracer.counter("net.dropped_down")
             return
         if self.faults is not None and src != dst:
             extra_delays = self.faults.deliveries(src, dst, self.env.now)
             if not extra_delays:
                 target.dropped += 1
+                if tracer is not None:
+                    tracer.counter("net.fault_lost")
                 return
         else:
             extra_delays = (0.0,)
@@ -147,8 +152,15 @@ class Network:
             def deliver(_event, message=message):
                 if not target.up:
                     target.dropped += 1
+                    if self.env.tracer is not None:
+                        self.env.tracer.counter("net.dropped_down")
                     return
                 target.received += 1
                 target.inbox.put(message)
+                if self.env.tracer is not None:
+                    self.env.tracer.span(
+                        "net.delivery", self.env.now,
+                        self.env.now - message.send_time,
+                        link=message.src + ">" + message.dst)
 
             self.env.timeout(delay).add_callback(deliver)

@@ -44,6 +44,9 @@ class Queue:
             getter.succeed(item)
         else:
             self._items.append(item)
+            tracer = self.env.tracer
+            if tracer is not None and self.name:
+                tracer.queue_depth("queue." + self.name, len(self._items))
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""

@@ -135,6 +135,7 @@ class TestFramework:
             "DPR-D01", "DPR-D02", "DPR-D03",
             "DPR-P01", "DPR-P02", "DPR-P03", "DPR-P04",
             "DPR-H01", "DPR-H02", "DPR-H03",
+            "DPR-O01",
         }
         assert {rule.id for rule in all_rules()} == expected
 
@@ -501,6 +502,102 @@ class TestHygieneRules:
             """,
         })
         assert "DPR-H03" not in rules_found(findings)
+
+
+class TestObservabilityRules:
+    def test_o01_obs_module_importing_protocol_code(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/obs/probe.py": """\
+                import json
+
+                from repro.sim.kernel import Environment
+
+                def snapshot(env):
+                    return json.dumps({"now": env.now})
+            """,
+        })
+        o01 = [f for f in findings if f.rule == "DPR-O01"]
+        assert len(o01) == 1
+        assert "repro.sim.kernel" in o01[0].message
+
+    def test_o01_obs_internal_and_stdlib_imports_are_clean(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/obs/probe.py": """\
+                import random
+
+                from repro.obs.tracer import Tracer
+                from .tracer import PhaseStats
+
+                def fresh():
+                    return Tracer(), PhaseStats(), random.Random(1)
+            """,
+        })
+        assert "DPR-O01" not in rules_found(findings)
+
+    def test_o01_hook_result_consumed(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/sim/pump.py": """\
+                def drain(tracer, items):
+                    marker = tracer.counter("pump.drained", len(items))
+                    return marker
+            """,
+        })
+        o01 = [f for f in findings if f.rule == "DPR-O01"]
+        assert len(o01) == 1
+        assert "discarded" in o01[0].message
+
+    def test_o01_walrus_in_hook_argument(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/sim/pump.py": """\
+                def drain(env, items):
+                    if env.tracer is not None:
+                        env.tracer.gauge("pump.depth", (n := len(items)))
+                    return items
+            """,
+        })
+        o01 = [f for f in findings if f.rule == "DPR-O01"]
+        assert len(o01) == 1
+        assert "walrus" in o01[0].message
+
+    def test_o01_mutator_call_in_hook_argument(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/sim/pump.py": """\
+                def drain(env, items):
+                    if env.tracer is not None:
+                        env.tracer.queue_depth("pump", items.pop())
+                    return items
+            """,
+        })
+        o01 = [f for f in findings if f.rule == "DPR-O01"]
+        assert len(o01) == 1
+        assert ".pop()" in o01[0].message
+
+    def test_o01_guarded_pure_hook_sites_are_clean(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/sim/pump.py": """\
+                def drain(env, self_tracer, items):
+                    tracer = env.tracer
+                    if tracer is not None:
+                        tracer.counter("pump.drained", len(items))
+                        tracer.queue_depth("pump", len(items))
+                        tracer.span("pump.drain", env.now, 0.0, src="p")
+                    if self_tracer is not None:
+                        self_tracer.end_spans(
+                            "pump.lag", env.now, lambda key: key >= 0)
+                    return items
+            """,
+        })
+        assert "DPR-O01" not in rules_found(findings)
+
+    def test_o01_non_tracer_receivers_are_ignored(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/sim/pump.py": """\
+                def drain(registry, items):
+                    handle = registry.counter("pump")
+                    return handle.update(items)
+            """,
+        })
+        assert "DPR-O01" not in rules_found(findings)
 
 
 class TestCli:

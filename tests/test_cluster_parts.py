@@ -224,6 +224,59 @@ class TestStats:
         assert len(reservoir._samples) == 10
         assert reservoir.count == 1000
 
+    def test_reservoir_boundary_percentiles_exact(self):
+        reservoir = Reservoir(capacity=1000)
+        for value in range(100):
+            reservoir.add(float(value))
+        # Exact at boundary and integral ranks, not index-truncated.
+        assert reservoir.percentile(0) == 0.0
+        assert reservoir.percentile(100) == 99.0
+        assert reservoir.percentile(50) == pytest.approx(49.5)
+        assert reservoir.percentile(99) == pytest.approx(98.01)
+
+    def test_reservoir_interpolates_between_ranks(self):
+        reservoir = Reservoir(capacity=10)
+        reservoir.add(0.0)
+        reservoir.add(10.0)
+        assert reservoir.percentile(50) == 5.0
+        assert reservoir.percentile(95) == pytest.approx(9.5)
+
+    def test_reservoir_merge_exact_under_capacity(self):
+        a, b = Reservoir(capacity=100), Reservoir(capacity=100)
+        for value in (1.0, 3.0):
+            a.add(value)
+        for value in (2.0, 4.0):
+            b.add(value)
+        a.merge(b)
+        assert a.count == 4
+        assert sorted(a._samples) == [1.0, 2.0, 3.0, 4.0]
+        assert a.mean() == pytest.approx(2.5)
+        # ``other`` is untouched.
+        assert b.count == 2 and sorted(b._samples) == [2.0, 4.0]
+
+    def test_reservoir_merge_into_empty_copies(self):
+        a, b = Reservoir(capacity=10), Reservoir(capacity=10)
+        b.add(7.0)
+        a.merge(b)
+        assert a.count == 1 and a._samples == [7.0]
+        a.merge(Reservoir(capacity=10))  # empty other is a no-op
+        assert a.count == 1
+
+    def test_reservoir_merge_weights_by_count(self):
+        """Folding a 100-observation stream into a 10k-observation one
+        must not hand the small stream half the merged reservoir — the
+        re-sampling bias ``merge`` exists to avoid."""
+        big, small = Reservoir(capacity=50), Reservoir(capacity=50)
+        for _ in range(10000):
+            big.add(100.0)
+        for _ in range(100):
+            small.add(1.0)
+        big.merge(small)
+        assert big.count == 10100
+        assert len(big._samples) == 50
+        share_small = sum(1 for s in big._samples if s == 1.0) / 50
+        assert share_small < 0.15
+
     def test_timeseries_buckets(self):
         series = TimeSeries(bucket_width=0.1)
         series.add(0.05, 10)

@@ -1,0 +1,331 @@
+"""The observability layer: deterministic, pure, and byte-stable.
+
+Three layers of coverage.  Unit tests pin the tracer primitives
+(counters, gauges, watermarks, spans in all four shapes, the event cap)
+and the percentile/merge math that BENCH artifacts depend on.  The
+integration test drives a traced D-FASTER run through a failure and
+checks every instrumented phase actually fires.  The determinism tests
+are the contract from ISSUE 3: a traced run's event stream is
+byte-identical across ``PYTHONHASHSEED`` values, and enabling tracing
+does not perturb the protocol (same stats with the tracer on or off).
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.bench.harness import run_dfaster_experiment
+from repro.obs import (
+    PhaseStats,
+    Tracer,
+    interpolated_percentile,
+    merge_phase_stats,
+    weighted_sample_merge,
+)
+
+from tests.test_determinism_hashseed import run_with_hashseed
+
+
+class TestInterpolatedPercentile:
+    def test_empty_and_singleton(self):
+        assert interpolated_percentile([], 50) == 0.0
+        assert interpolated_percentile([7.0], 0) == 7.0
+        assert interpolated_percentile([7.0], 100) == 7.0
+
+    def test_boundaries_are_exact(self):
+        ordered = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert interpolated_percentile(ordered, 0) == 1.0
+        assert interpolated_percentile(ordered, 100) == 5.0
+        # q=50 on five samples lands exactly on rank 2.
+        assert interpolated_percentile(ordered, 50) == 3.0
+        assert interpolated_percentile(ordered, 25) == 2.0
+
+    def test_interpolates_between_ranks(self):
+        ordered = [0.0, 10.0]
+        assert interpolated_percentile(ordered, 50) == 5.0
+        assert interpolated_percentile(ordered, 90) == pytest.approx(9.0)
+
+    def test_exact_on_dense_grid(self):
+        ordered = [float(v) for v in range(101)]
+        for q in (0, 1, 25, 50, 75, 99, 100):
+            assert interpolated_percentile(ordered, q) == float(q)
+
+
+class TestPhaseStats:
+    def test_moments(self):
+        stats = PhaseStats()
+        rng = random.Random(0)
+        for value in (3.0, 1.0, 2.0):
+            stats.add(value, rng)
+        summary = stats.summary()
+        assert summary["count"] == 3
+        assert summary["total"] == 6.0
+        assert summary["mean"] == 2.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["p50"] == 2.0
+
+    def test_empty_summary(self):
+        assert PhaseStats().summary()["count"] == 0
+
+    def test_reservoir_caps_samples_not_moments(self):
+        stats = PhaseStats(capacity=16)
+        rng = random.Random(0)
+        for value in range(1000):
+            stats.add(float(value), rng)
+        assert len(stats.samples) == 16
+        assert stats.count == 1000
+        assert stats.summary()["max"] == 999.0
+
+    def test_merge_is_exact_under_capacity(self):
+        rng = random.Random(0)
+        a, b = PhaseStats(capacity=100), PhaseStats(capacity=100)
+        for value in (1.0, 2.0):
+            a.add(value, rng)
+        for value in (10.0, 20.0):
+            b.add(value, rng)
+        a.merge(b, rng)
+        summary = a.summary()
+        assert summary["count"] == 4
+        assert summary["total"] == 33.0
+        assert summary["min"] == 1.0 and summary["max"] == 20.0
+        assert sorted(a.samples) == [1.0, 2.0, 10.0, 20.0]
+        # The merged-from side is untouched.
+        assert b.count == 2 and sorted(b.samples) == [10.0, 20.0]
+
+    def test_merge_weights_by_observation_count(self):
+        """A stream with 100x the observations should dominate the
+        merged reservoir roughly 100:1, not 1:1 (the re-sampling bias
+        this merge exists to avoid)."""
+        rng = random.Random(7)
+        big, small = PhaseStats(capacity=50), PhaseStats(capacity=50)
+        for _ in range(5000):
+            big.add(100.0, rng)
+        for _ in range(50):
+            small.add(1.0, rng)
+        big.merge(small, rng)
+        assert big.count == 5050
+        assert len(big.samples) == 50
+        share_small = sum(1 for s in big.samples if s == 1.0) / 50
+        assert share_small < 0.15  # unweighted concat would give 0.5
+
+
+class TestWeightedSampleMerge:
+    def test_respects_capacity_and_strata(self):
+        rng = random.Random(3)
+        merged = weighted_sample_merge(
+            [1.0] * 10, 10, [2.0] * 10, 10, 8, rng)
+        assert len(merged) == 8
+        assert set(merged) <= {1.0, 2.0}
+
+    def test_empty_strata(self):
+        rng = random.Random(3)
+        assert weighted_sample_merge([], 0, [], 0, 8, rng) == []
+        assert sorted(weighted_sample_merge([5.0], 1, [], 0, 8, rng)) == [5.0]
+
+
+class TestTracer:
+    def test_counters_accumulate(self):
+        tracer = Tracer()
+        tracer.counter("ops")
+        tracer.counter("ops", 2.0)
+        assert tracer.counters["ops"] == 3.0
+
+    def test_gauges_keep_last(self):
+        tracer = Tracer()
+        tracer.gauge("depth", 4.0)
+        tracer.gauge("depth", 1.0)
+        assert tracer.gauges["depth"] == 1.0
+
+    def test_queue_high_watermark(self):
+        tracer = Tracer()
+        for depth in (1, 5, 2, 0):
+            tracer.queue_depth("q", depth)
+        assert tracer.queue_high_watermarks == {"q": 5}
+
+    def test_span_aggregates_phase(self):
+        tracer = Tracer()
+        tracer.span("phase", 1.0, 0.25, worker="w0")
+        tracer.span("phase", 2.0, 0.75)
+        summary = tracer.phase_summary()["phase"]
+        assert summary["count"] == 2
+        assert summary["total"] == 1.0
+        assert summary["min"] == 0.25 and summary["max"] == 0.75
+
+    def test_keyed_span_roundtrip(self):
+        tracer = Tracer()
+        tracer.begin_span("lag", ("obj", 3), t=1.0)
+        assert tracer.open_span_count() == 1
+        tracer.end_span("lag", ("obj", 3), t=1.5)
+        assert tracer.open_span_count() == 0
+        assert tracer.phase_summary()["lag"]["max"] == 0.5
+
+    def test_unmatched_end_is_counted_not_recorded(self):
+        tracer = Tracer()
+        tracer.end_span("lag", "never-opened", t=1.0)
+        assert tracer.unmatched_span_ends == 1
+        assert "lag" not in tracer.phase_summary()
+
+    def test_cancel_span(self):
+        tracer = Tracer()
+        tracer.begin_span("flush", "k", t=0.0)
+        tracer.cancel_span("flush", "k")
+        tracer.cancel_span("flush", "k")  # double-cancel is a no-op
+        assert tracer.spans_cancelled == 1
+        assert tracer.open_span_count() == 0
+        assert "flush" not in tracer.phase_summary()
+
+    def test_end_spans_selects_by_key(self):
+        """One cut broadcast retires every version at or below it."""
+        tracer = Tracer()
+        for version in (1, 2, 3):
+            tracer.begin_span("cut", ("obj", version), t=0.0)
+        tracer.end_spans("cut", 2.0, lambda key: key[1] <= 2)
+        assert tracer.open_span_count() == 1
+        assert tracer.phase_summary()["cut"]["count"] == 2
+
+    def test_event_cap_counts_overflow(self):
+        tracer = Tracer(max_events=2)
+        for i in range(5):
+            tracer.event(float(i), "tick")
+        assert len(tracer.events) == 2
+        assert tracer.events_dropped == 3
+        # Aggregates keep counting past the cap.
+        for i in range(5):
+            tracer.span("p", float(i), 0.1)
+        assert tracer.phase_summary()["p"]["count"] == 5
+
+    def test_serialize_canonical_json_lines(self):
+        tracer = Tracer()
+        tracer.event(0.5, "boot", 1, zone="a", role="w")
+        tracer.span("p", 1.0, 0.25, worker="w0")
+        lines = tracer.serialize().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {"t": 0.5, "kind": "event", "name": "boot",
+                         "value": 1, "labels": {"zone": "a", "role": "w"}}
+        # Canonical form: keys sorted in the raw bytes.
+        assert lines[0].index('"kind"') < lines[0].index('"labels"')
+
+    def test_summary_shape(self):
+        tracer = Tracer()
+        tracer.counter("c")
+        tracer.gauge("g", 2.0)
+        tracer.queue_depth("q", 3)
+        tracer.span("p", 1.0, 0.5)
+        tracer.begin_span("p", "open", t=1.0)
+        summary = tracer.summary()
+        assert summary["counters"] == {"c": 1.0}
+        assert summary["gauges"] == {"g": 2.0}
+        assert summary["queue_high_watermarks"] == {"q": 3}
+        assert summary["open_spans"] == 1
+        assert summary["phases"]["p"]["count"] == 1
+
+
+class TestMergePhaseStats:
+    def test_merges_across_tracers_and_skips_none(self):
+        a, b = Tracer(), Tracer()
+        a.span("p", 1.0, 0.1)
+        b.span("p", 1.0, 0.3)
+        b.span("q", 1.0, 1.0)
+        merged = merge_phase_stats([a, None, b])
+        assert merged["p"]["count"] == 2
+        assert merged["p"]["total"] == pytest.approx(0.4)
+        assert merged["q"]["count"] == 1
+
+    def test_empty(self):
+        assert merge_phase_stats([]) == {}
+        assert merge_phase_stats([None, Tracer()]) == {}
+
+
+class TestTracedClusterRun:
+    """One short traced D-FASTER run through a failure hits every
+    instrumented layer."""
+
+    @pytest.fixture(scope="class")
+    def traced(self):
+        return run_dfaster_experiment(
+            "obs-it", duration=0.3, warmup=0.05, n_workers=2, vcpus=2,
+            n_client_machines=1, client_threads=2, batch_size=32,
+            checkpoint_interval=0.05, seed=99, failures=(0.15,))
+
+    def test_phases_cover_the_stack(self, traced):
+        phases = traced.phases
+        for name in ("client.commit", "worker.batch_service",
+                     "worker.flush", "worker.persist_lag", "dpr.cut_lag",
+                     "net.delivery", "finder.tick", "recovery"):
+            assert name in phases, f"missing phase {name}"
+            assert phases[name]["count"] > 0
+
+    def test_recovery_span_is_plausible(self, traced):
+        recovery = traced.phases["recovery"]
+        assert recovery["count"] >= 1
+        assert 0.0 < recovery["max"] < 0.3
+
+    def test_counters_and_watermarks(self, traced):
+        tracer = traced.tracer
+        assert tracer.counters["kernel.dispatched"] > 0
+        assert tracer.counters["kernel.processes"] > 0
+        assert tracer.counters["finder.ticks"] > 0
+        assert tracer.queue_high_watermarks["kernel.heap"] > 0
+
+    def test_no_span_leaks_grow_unbounded(self, traced):
+        tracer = traced.tracer
+        # In-flight phases at shutdown are fine; a leak proportional to
+        # throughput (thousands of committed batches) is not.
+        assert tracer.open_span_count() < 100
+
+
+class TestTracingDoesNotPerturbTheProtocol:
+    def test_stats_identical_with_tracing_on_and_off(self):
+        kwargs = dict(duration=0.2, warmup=0.05, n_workers=2, vcpus=2,
+                      n_client_machines=1, client_threads=2,
+                      batch_size=32, checkpoint_interval=0.05, seed=42,
+                      failures=(0.1,))
+        traced = run_dfaster_experiment("on", **kwargs)
+        untraced = run_dfaster_experiment("off", tracer=None, **kwargs)
+        assert traced.tracer is not None and untraced.tracer is None
+        assert traced.throughput_mops == untraced.throughput_mops
+        assert traced.commit_throughput_mops == \
+            untraced.commit_throughput_mops
+        assert traced.operation_latency == untraced.operation_latency
+        assert traced.commit_latency == untraced.commit_latency
+        assert traced.stats.completed.series(0.05) == \
+            untraced.stats.completed.series(0.05)
+
+
+TRACED_SCENARIO = """
+import hashlib
+import json
+
+from repro.cluster import DFasterCluster, DFasterConfig
+from repro.obs import Tracer
+
+tracer = Tracer()
+cluster = DFasterCluster(DFasterConfig(
+    n_workers=2, vcpus=2, n_client_machines=1, client_threads=2,
+    batch_size=32, checkpoint_interval=0.05, seed=99, finder="hybrid",
+    tracer=tracer))
+cluster.schedule_failure(0.15)
+stats = cluster.run(0.3, warmup=0.05)
+print(json.dumps({
+    "events_sha256": hashlib.sha256(
+        tracer.serialize().encode()).hexdigest(),
+    "summary": tracer.summary(),
+    "committed": sum(c.total_committed() for c in cluster.clients),
+}, sort_keys=True))
+"""
+
+
+def test_trace_stream_identical_across_hash_seeds():
+    """The serialized event stream — ordering, labels, sampled
+    percentiles and all — is byte-identical under different interpreter
+    hash seeds (ISSUE 3 determinism satellite)."""
+    first = run_with_hashseed(1, TRACED_SCENARIO)
+    second = run_with_hashseed(777, TRACED_SCENARIO)
+    assert first == second
+    payload = json.loads(first)
+    assert payload["committed"] > 0
+    assert payload["summary"]["events_recorded"] > 0
+    assert payload["summary"]["phases"]["recovery"]["count"] >= 1
