@@ -93,7 +93,7 @@ class CassandraNode:
             per_op *= config.group_op_penalty
         while True:
             request: BatchRequest = yield self.work.get()
-            yield env.timeout(request.op_count * per_op)
+            yield request.op_count * per_op
             self.ops_served += request.op_count
             reply = BatchReply(
                 batch_id=request.batch_id,
@@ -115,7 +115,7 @@ class CassandraNode:
     def _fsync_cycle(self):
         env = self.env
         while True:
-            yield env.timeout(self.config.group_window)
+            yield self.config.group_window
             pending, self._awaiting_fsync = self._awaiting_fsync, []
             for reply, reply_to in pending:
                 self.net.send(self.address, reply_to, reply,

@@ -6,7 +6,17 @@ Usage::
     python -m repro.bench fig10 --scale 0.5       # half-length windows
     python -m repro.bench all -o results.txt
     python -m repro.bench fig10 --json-dir out/   # + BENCH_fig10.json
+    python -m repro.bench fig10 --profile         # cProfile + per-run times
+    python -m repro.bench fig10 --budget 12       # exit 1 if slower
     python -m repro.bench --compare base.json cur.json --tolerance 0.15
+
+``--profile`` runs the sweep under cProfile, prints a per-experiment
+wall-clock breakdown plus the hottest functions, and writes the raw
+profile (pstats format) to ``--profile-out`` for ``snakeviz``/``pstats``
+offline digging — see ``docs/PERFORMANCE.md`` for the workflow.
+``--budget`` turns the run into a wall-clock regression gate: CI runs
+the fig10 smoke configuration under the budget recorded in
+``docs/PERFORMANCE.md`` and fails the build when it blows through.
 
 The pytest benchmarks in ``benchmarks/`` remain the source of truth for
 shape assertions; this entry point is for quick interactive sweeps and
@@ -16,12 +26,15 @@ for the CI perf-regression gate (``--compare`` exits 1 on regression).
 from __future__ import annotations
 
 import argparse
+import cProfile
+import pstats
 import sys
 import time
 from pathlib import Path
 
 from repro.bench import artifacts
 from repro.bench.figures import FIGURES, generate, generate_artifact
+from repro.bench.harness import wallclock_probe
 
 
 def _run_compare(base_path: str, current_path: str,
@@ -67,6 +80,22 @@ def main(argv=None) -> int:
         help="also write a BENCH_<figure>.json artifact into DIR",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile; print per-experiment wall-clock "
+             "deltas and the hottest functions, and write the raw "
+             "profile to --profile-out",
+    )
+    parser.add_argument(
+        "--profile-out", default="bench_profile.prof", metavar="PATH",
+        help="where --profile writes the pstats dump "
+             "(default bench_profile.prof)",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="fail (exit 1) if figure generation takes longer than "
+             "this many wall-clock seconds",
+    )
+    parser.add_argument(
         "--compare", nargs=2, metavar=("BASELINE", "CURRENT"),
         help="compare two BENCH_*.json artifacts; exit 1 if CURRENT "
              "regressed beyond --tolerance",
@@ -86,28 +115,70 @@ def main(argv=None) -> int:
 
     json_dir = None if args.json_dir is None else Path(args.json_dir)
     figures = list(FIGURES) if args.figure == "all" else [args.figure]
+    profiler = cProfile.Profile() if args.profile else None
     # Monotonic elapsed-time measurement; wall-clock (time.time) is
     # banned repo-wide by dprlint DPR-D01, and repro.bench is on the
     # linter's timer allowlist precisely for this call.
     started = time.perf_counter()
     texts = []
-    for figure in figures:
-        if json_dir is not None:
-            text, artifact = generate_artifact(figure, scale=args.scale)
-            path = json_dir / artifacts.artifact_name(figure)
-            artifacts.write_artifact(artifact, path)
-            print(f"[wrote {path}]")
-        else:
-            text = generate(figure, scale=args.scale)
-        texts.append(text)
+    with wallclock_probe() as experiment_stamps:
+        if profiler is not None:
+            profiler.enable()
+        try:
+            for figure in figures:
+                if json_dir is not None:
+                    text, artifact = generate_artifact(figure,
+                                                       scale=args.scale)
+                    path = json_dir / artifacts.artifact_name(figure)
+                    artifacts.write_artifact(artifact, path)
+                    print(f"[wrote {path}]")
+                else:
+                    text = generate(figure, scale=args.scale)
+                texts.append(text)
+        finally:
+            if profiler is not None:
+                profiler.disable()
     elapsed = time.perf_counter() - started
     text = "\n\n".join(texts)
     print(text)
     print(f"\n[{args.figure} generated in {elapsed:.1f}s wall-clock]")
+    if profiler is not None:
+        _report_profile(profiler, args.profile_out, experiment_stamps,
+                        started)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text + "\n")
+    if args.budget is not None and elapsed > args.budget:
+        print(f"BUDGET EXCEEDED: {elapsed:.1f}s > {args.budget:.1f}s "
+              f"allowed (see docs/PERFORMANCE.md)")
+        return 1
+    if args.budget is not None:
+        print(f"[within budget: {elapsed:.1f}s <= {args.budget:.1f}s]")
     return 0
+
+
+def _report_profile(profiler: cProfile.Profile, out_path: str,
+                    stamps, started: float) -> None:
+    """Print the --profile breakdown and dump the raw pstats file.
+
+    ``stamps`` is the wallclock_probe log: one (label, perf_counter)
+    pair per finished experiment, from which consecutive differences
+    give each sweep point's real cost (cProfile roughly doubles every
+    number; the deltas are still comparable to each other).
+    """
+    if stamps:
+        print("\nper-experiment wall-clock (profiled, so inflated):")
+        previous = started
+        for label, stamp in stamps:
+            print(f"  {stamp - previous:8.2f}s  {label}")
+            previous = stamp
+    stats = pstats.Stats(profiler)
+    stats.dump_stats(out_path)
+    print(f"\n[profile written to {out_path}]")
+    print("hottest functions by cumulative time:")
+    stats.sort_stats("cumulative")
+    stats.stream = sys.stdout
+    stats.print_stats(20)
 
 
 if __name__ == "__main__":

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -57,6 +58,26 @@ def collect_results():
         _collectors.remove(bucket)
 
 
+#: Active wall-clock probes: each open probe receives one
+#: ``(label, perf_counter_seconds)`` entry per finished experiment, so
+#: ``--profile`` can attribute real time to sweep points without the
+#: figure functions knowing they are being timed.  Wall-clock never
+#: feeds results (that would break determinism); it is observability
+#: only, which is why repro.bench sits on the dprlint timer allowlist.
+_probes: List[List[Tuple[str, float]]] = []
+
+
+@contextmanager
+def wallclock_probe():
+    """Collect (label, perf_counter) pairs for experiments in the block."""
+    log: List[Tuple[str, float]] = []
+    _probes.append(log)
+    try:
+        yield log
+    finally:
+        _probes.remove(log)
+
+
 def _summarize(label: str, stats: ClusterStats, warmup: float,
                duration: float, seed: int = 0,
                tracer: Optional[Tracer] = None) -> ExperimentResult:
@@ -75,6 +96,10 @@ def _summarize(label: str, stats: ClusterStats, warmup: float,
     )
     for bucket in _collectors:
         bucket.append(result)
+    if _probes:
+        stamp = time.perf_counter()
+        for probe in _probes:
+            probe.append((label, stamp))
     return result
 
 

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import random
 from collections import OrderedDict
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.messages import BatchReply, BatchRequest
@@ -33,17 +32,27 @@ from repro.sim.rand import make_rng, spawn
 from repro.workloads.ycsb import WorkloadSpec
 
 
-@dataclass
 class BatchRecord:
-    """One in-flight or completed-but-uncommitted batch."""
+    """One in-flight or completed-but-uncommitted batch.
 
-    batch_id: int
-    object_id: str
-    first_seqno: int
-    op_count: int
-    created_at: float
-    version: Optional[int] = None
-    completed_at: Optional[float] = None
+    A ``__slots__`` class: one record is allocated per batch sent, so
+    this sits on the same hot path as the messages module.
+    """
+
+    __slots__ = ("batch_id", "object_id", "first_seqno", "op_count",
+                 "created_at", "version", "completed_at")
+
+    def __init__(self, batch_id: int, object_id: str, first_seqno: int,
+                 op_count: int, created_at: float,
+                 version: Optional[int] = None,
+                 completed_at: Optional[float] = None):
+        self.batch_id = batch_id
+        self.object_id = object_id
+        self.first_seqno = first_seqno
+        self.op_count = op_count
+        self.created_at = created_at
+        self.version = version
+        self.completed_at = completed_at
 
 
 class BatchIds:
@@ -102,28 +111,22 @@ class BatchSession:
     def new_batch(self, object_id: str, op_count: int, write_count: int,
                   now: float, reply_to: str) -> BatchRequest:
         batch_id = self._ids.allocate()
-        deps = tuple(Token(obj, ver) for obj, ver in self._recent.items())
-        self._recent.clear()
+        recent = self._recent
+        if recent:
+            deps = tuple(Token(obj, ver) for obj, ver in recent.items())
+            recent.clear()
+        else:
+            deps = ()
+        first_seqno = self._next_seqno
+        # Positional construction: this pair of allocations runs once per
+        # batch sent, and keyword calls measurably lag positional ones.
         request = BatchRequest(
-            batch_id=batch_id,
-            session_id=self.session_id,
-            reply_to=reply_to,
-            world_line=self.world_line,
-            min_version=self.version_scalar,
-            first_seqno=self._next_seqno,
-            op_count=op_count,
-            write_count=write_count,
-            deps=deps,
-            created_at=now,
-        )
-        self._next_seqno += op_count
+            batch_id, self.session_id, reply_to, self.world_line,
+            self.version_scalar, first_seqno, op_count, write_count,
+            deps, now)
+        self._next_seqno = first_seqno + op_count
         self.records[batch_id] = BatchRecord(
-            batch_id=batch_id,
-            object_id=object_id,
-            first_seqno=request.first_seqno,
-            op_count=op_count,
-            created_at=now,
-        )
+            batch_id, object_id, first_seqno, op_count, now)
         self.outstanding_ops += op_count
         return request
 
@@ -284,24 +287,35 @@ class ClientMachine:
 
     def _issue_loop(self, session: BatchSession, rng: random.Random):
         env = self.env
+        # Hoists for the per-batch turn.  ``self.workers`` stays a live
+        # attribute read: elastic runs grow it mid-flight.
+        randrange = rng.randrange
+        batch_size = self.batch_size
+        window = self.window
+        address = self.address
+        send = self.net.send
+        new_batch = session.new_batch
+        write_count_of = self.workload.batch_write_count
+        window_name = "window:" + session.session_id
+        # A tiny issue cost keeps a thread from queueing its whole
+        # window at one instant (client-side CPU).
+        issue_cost = 1e-6 + 20e-9 * batch_size
         while self.running:
             if env.now < session.paused_until:
-                yield env.timeout(session.paused_until - env.now)
+                yield session.paused_until - env.now
                 continue
-            if session.outstanding_ops + self.batch_size > self.window:
-                event = env.event(name=f"window:{session.session_id}")
+            if session.outstanding_ops + batch_size > window:
+                event = env.event(name=window_name)
                 self._wakeups[session.session_id] = event
                 yield event
                 continue
-            target = self.workers[rng.randrange(len(self.workers))]
-            write_count = self.workload.batch_write_count(self.batch_size, rng)
-            request = session.new_batch(target, self.batch_size, write_count,
-                                        env.now, self.address)
-            self.net.send(self.address, target, request,
-                          size_ops=self.batch_size)
-            # A tiny issue cost keeps a thread from queueing its whole
-            # window at one instant (client-side CPU).
-            yield env.timeout(1e-6 + 20e-9 * self.batch_size)
+            workers = self.workers
+            target = workers[randrange(len(workers))]
+            write_count = write_count_of(batch_size, rng)
+            request = new_batch(target, batch_size, write_count,
+                                env.now, address)
+            send(address, target, request, size_ops=batch_size)
+            yield issue_cost
 
     def _wake(self, session_id: str) -> None:
         event = self._wakeups.pop(session_id, None)
@@ -343,7 +357,7 @@ class ClientMachine:
         """Abandon batches stuck on a crashed worker (broken-pipe analog)."""
         env = self.env
         while True:
-            yield env.timeout(self.request_timeout / 2)
+            yield self.request_timeout / 2
             deadline = env.now - self.request_timeout
             for session in self.sessions.values():
                 stuck = [

@@ -200,7 +200,7 @@ class DFasterCluster:
         worker = self.workers[worker_index]
 
         def fire():
-            yield self.env.timeout(max(0.0, at_time - self.env.now))
+            yield max(0.0, at_time - self.env.now)
             worker.crash()
 
         self.env.process(fire(), name=f"crash@{at_time}")
@@ -365,7 +365,7 @@ class _ColocatedDriver:
         next_is_local: Optional[bool] = None
         while True:
             if env.now < session.paused_until:
-                yield env.timeout(session.paused_until - env.now)
+                yield session.paused_until - env.now
                 continue
             # Serve remote requests first ("spare cycles" rule, §7.3).
             item = worker.work.try_get()
@@ -377,7 +377,7 @@ class _ColocatedDriver:
                     worker._rcu_probability(), worker._slowdown(),
                     dpr=worker.dpr_enabled,
                 )
-                yield env.timeout(service)
+                yield service
                 if env.tracer is not None:
                     env.tracer.span("worker.batch_service", env.now,
                                     service, worker=worker.address)
@@ -393,11 +393,11 @@ class _ColocatedDriver:
                 next_is_local = None
             else:
                 if session.outstanding_ops + self.batch_size > self.window:
-                    yield env.timeout(self.POLL)
+                    yield self.POLL
                     continue
                 # Client-side cost of the remote path competes with
                 # serving on the same vCPU.
-                yield env.timeout(cost.colocated_remote_send(self.batch_size))
+                yield cost.colocated_remote_send(self.batch_size)
                 self._issue_remote(session, rng)
                 next_is_local = None
 
@@ -413,7 +413,7 @@ class _ColocatedDriver:
             chunk, write_count / chunk, worker._rcu_probability(),
             worker._slowdown(),
         )
-        yield env.timeout(service)
+        yield service
         request = session.new_batch(worker.address, chunk, write_count,
                                     env.now, worker.address)
         try:

@@ -107,7 +107,7 @@ class _RedisInstance:
             request, respond = yield self.queue.get()
             if request == "BGSAVE":
                 # The exclusive-latch window (§6): command stream pauses.
-                yield env.timeout(cost.bgsave_pause)
+                yield cost.bgsave_pause
                 respond(None)
                 continue
             service = cost.redis_batch_time(
@@ -115,7 +115,7 @@ class _RedisInstance:
                 aof_always=(aof == "always"),
                 aof_eventual=(aof == "everysec"),
             )
-            yield env.timeout(service)
+            yield service
             if env.tracer is not None:
                 env.tracer.span("worker.batch_service", env.now, service,
                                 worker=f"redis-{self.shard_id}")
@@ -196,7 +196,7 @@ class _DRedisProxy:
                 self.duplicate_batches += 1
                 continue
             # Inbound forwarding cost (read header, re-frame).
-            yield env.timeout(cost.proxy_time(request.op_count, dpr=self.dpr))
+            yield cost.proxy_time(request.op_count, dpr=self.dpr)
             if self.dpr:
                 reply_or_none = self._dpr_gate(request)
                 if reply_or_none is not None:
@@ -238,7 +238,7 @@ class _DRedisProxy:
         cost = self.cluster.config.cost
         while True:
             request: BatchRequest = yield self._egress.get()
-            yield env.timeout(cost.proxy_time(request.op_count, dpr=self.dpr))
+            yield cost.proxy_time(request.op_count, dpr=self.dpr)
             version = 0
             world_line = 0
             if self.dpr:
@@ -277,7 +277,7 @@ class _DRedisProxy:
         env = self.env
         config = self.cluster.config
         while True:
-            yield env.timeout(config.checkpoint_interval)
+            yield config.checkpoint_interval
             if (self.cached_max_version or 0) > self.engine.version:
                 self.engine.fast_forward(self.cached_max_version)
             self._flush_autosealed()
@@ -328,7 +328,7 @@ class _DRedisProxy:
             self.cached_cut = command.cut
             # Restore() restarts the Redis instance (§6): the restart
             # dwarfs THROW-style windows.
-            yield env.timeout(cost.rollback_window * 2)
+            yield cost.rollback_window * 2
             if env.tracer is not None:
                 env.tracer.span("worker.rollback", env.now,
                                 cost.rollback_window * 2,

@@ -76,7 +76,7 @@ class ElasticCoordinator:
             old_worker = self.workers[old_owner]
             boundary = old_worker.engine.version
             while old_worker.engine.version == boundary:
-                yield env.timeout(old_worker.checkpoint_interval / 4)
+                yield old_worker.checkpoint_interval / 4
         # Step 3: install the new owner.
         yield self.metadata.access()
         self.metadata.set_owner(partition, new_owner)
@@ -136,7 +136,7 @@ class PartitionedClient:
             if owner is None:
                 # Mid-transfer: the partition is owner-less; retry.
                 self.retries += 1
-                yield env.timeout(self.retry_delay)
+                yield self.retry_delay
                 refresh = True
                 continue
             self._next_batch += 1
@@ -159,7 +159,7 @@ class PartitionedClient:
                 # Stale cache: re-read the mapping and retry (§5.3).
                 self.retries += 1
                 refresh = True
-                yield env.timeout(self.retry_delay)
+                yield self.retry_delay
                 continue
             self._next_seqno += len(ops)
             return reply

@@ -1,15 +1,22 @@
-"""Message payloads exchanged on the simulated cluster network."""
+"""Message payloads exchanged on the simulated cluster network.
+
+These are plain ``__slots__`` classes rather than frozen dataclasses:
+hundreds of thousands are allocated per bench run (one BatchRequest and
+one BatchReply per client batch), and frozen-dataclass construction
+pays an ``object.__setattr__`` call per field.  The keyword signatures
+and defaults are unchanged, so call sites read exactly as before; the
+classes are frozen by convention — nothing mutates a message after it
+is put on the wire.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.core.cuts import DprCut
 from repro.core.versioning import CommitDescriptor, Token
 
 
-@dataclass(frozen=True)
 class BatchRequest:
     """A client batch: DPR header fields plus aggregate op composition.
 
@@ -18,86 +25,142 @@ class BatchRequest:
     materializing individual operations.
     """
 
-    batch_id: int
-    session_id: str
-    reply_to: str
-    world_line: int
-    min_version: int
-    first_seqno: int
-    op_count: int
-    write_count: int
-    deps: Tuple[Token, ...] = ()
-    created_at: float = 0.0
-    #: Functional mode: explicit operations to run on a real engine
-    #: (len == op_count).  None in modeled performance runs.
-    ops: Optional[Tuple] = None
-    #: Virtual partition the batch's keys belong to (§5.3); workers
-    #: with an ownership view validate it and reject mis-routed
-    #: batches with status "not_owner".  None skips validation.
-    partition: Optional[int] = None
+    __slots__ = ("batch_id", "session_id", "reply_to", "world_line",
+                 "min_version", "first_seqno", "op_count", "write_count",
+                 "deps", "created_at", "ops", "partition")
+
+    def __init__(self, batch_id: int, session_id: str, reply_to: str,
+                 world_line: int, min_version: int, first_seqno: int,
+                 op_count: int, write_count: int,
+                 deps: Tuple[Token, ...] = (), created_at: float = 0.0,
+                 ops: Optional[Tuple] = None,
+                 partition: Optional[int] = None):
+        self.batch_id = batch_id
+        self.session_id = session_id
+        self.reply_to = reply_to
+        self.world_line = world_line
+        self.min_version = min_version
+        self.first_seqno = first_seqno
+        self.op_count = op_count
+        self.write_count = write_count
+        self.deps = deps
+        self.created_at = created_at
+        #: Functional mode: explicit operations to run on a real engine
+        #: (len == op_count).  None in modeled performance runs.
+        self.ops = ops
+        #: Virtual partition the batch's keys belong to (§5.3); workers
+        #: with an ownership view validate it and reject mis-routed
+        #: batches with status "not_owner".  None skips validation.
+        self.partition = partition
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BatchRequest(batch_id={self.batch_id}, "
+                f"session_id={self.session_id!r}, op_count={self.op_count})")
 
 
-@dataclass(frozen=True)
 class BatchReply:
     """Server response; carries the worker's cached DPR cut so clients
     learn commits by piggyback, with no extra round trips (§2)."""
 
-    batch_id: int
-    session_id: str
-    object_id: str
-    status: str  # "ok" | "rolled_back" | "retry"
-    world_line: int
-    version: int = 0
-    op_count: int = 0
-    cut: Optional[DprCut] = None
-    served_at: float = 0.0
-    #: Functional mode: per-op results (None in modeled runs).
-    results: Optional[Tuple] = None
+    __slots__ = ("batch_id", "session_id", "object_id", "status",
+                 "world_line", "version", "op_count", "cut", "served_at",
+                 "results")
+
+    def __init__(self, batch_id: int, session_id: str, object_id: str,
+                 status: str, world_line: int, version: int = 0,
+                 op_count: int = 0, cut: Optional[DprCut] = None,
+                 served_at: float = 0.0, results: Optional[Tuple] = None):
+        self.batch_id = batch_id
+        self.session_id = session_id
+        self.object_id = object_id
+        self.status = status  # "ok" | "rolled_back" | "retry"
+        self.world_line = world_line
+        self.version = version
+        self.op_count = op_count
+        self.cut = cut
+        self.served_at = served_at
+        #: Functional mode: per-op results (None in modeled runs).
+        self.results = results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BatchReply(batch_id={self.batch_id}, "
+                f"session_id={self.session_id!r}, status={self.status!r})")
 
 
-@dataclass(frozen=True)
 class SealReport:
     """Worker -> DPR finder: a version was sealed (deps attached)."""
 
-    descriptor: CommitDescriptor
+    __slots__ = ("descriptor",)
+
+    def __init__(self, descriptor: CommitDescriptor):
+        self.descriptor = descriptor
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SealReport(descriptor={self.descriptor!r})"
 
 
-@dataclass(frozen=True)
 class PersistReport:
     """Worker -> DPR finder: a sealed version finished flushing."""
 
-    object_id: str
-    version: int
+    __slots__ = ("object_id", "version")
+
+    def __init__(self, object_id: str, version: int):
+        self.object_id = object_id
+        self.version = version
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PersistReport(object_id={self.object_id!r}, version={self.version})"
 
 
-@dataclass(frozen=True)
 class CutBroadcast:
     """DPR finder -> workers: a freshly published cut, plus ``Vmax``
     for the §3.4 laggard fast-forward rule."""
 
-    cut: DprCut
-    world_line: int
-    max_version: int = 0
+    __slots__ = ("cut", "world_line", "max_version")
+
+    def __init__(self, cut: DprCut, world_line: int, max_version: int = 0):
+        self.cut = cut
+        self.world_line = world_line
+        self.max_version = max_version
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CutBroadcast(world_line={self.world_line}, "
+                f"max_version={self.max_version})")
 
 
-@dataclass(frozen=True)
 class RollbackCommand:
     """Cluster manager -> worker: roll back to the cut, new world-line."""
 
-    world_line: int
-    cut: DprCut
+    __slots__ = ("world_line", "cut")
+
+    def __init__(self, world_line: int, cut: DprCut):
+        self.world_line = world_line
+        self.cut = cut
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RollbackCommand(world_line={self.world_line}, cut={self.cut!r})"
 
 
-@dataclass(frozen=True)
 class RollbackDone:
     """Worker -> cluster manager: rollback completed."""
 
-    worker_id: str
-    world_line: int
+    __slots__ = ("worker_id", "world_line")
+
+    def __init__(self, worker_id: str, world_line: int):
+        self.worker_id = worker_id
+        self.world_line = world_line
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RollbackDone(worker_id={self.worker_id!r}, world_line={self.world_line})"
 
 
-@dataclass(frozen=True)
 class Heartbeat:
     """Worker -> cluster manager: liveness signal (§4.1)."""
 
-    worker_id: str
+    __slots__ = ("worker_id",)
+
+    def __init__(self, worker_id: str):
+        self.worker_id = worker_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Heartbeat(worker_id={self.worker_id!r})"

@@ -8,8 +8,9 @@ published cut/world-line — behind a simulated round-trip latency.
 The store itself is fault-tolerant (the paper provisions a managed SQL
 instance); it never *loses data* in the simulation.  It can, however,
 become slow or temporarily unreachable: an installed
-:class:`~repro.sim.faults.FaultPlan` stretches :meth:`access` round
-trips across scheduled outage windows and latency spikes, which is how
+:class:`~repro.sim.faults.FaultPlan` stretches
+:meth:`MetadataStore.access` round trips across scheduled outage
+windows and latency spikes, which is how
 chaos runs force the finder service's coordinator to fail over onto the
 hybrid finder's approximate fallback (§3.4).  Accesses *are* timed:
 callers yield :meth:`MetadataStore.access` around each logical query,
@@ -51,13 +52,16 @@ class MetadataStore:
         """Install (or, with None, remove) a fault-injection plan."""
         self.faults = faults
 
-    def access(self) -> Event:
+    def access(self) -> float:
         """One timed round trip to the store (yield this, then read).
 
-        During an injected outage the access stalls until the outage
-        lifts; during a latency spike it pays the extra delay.  The
-        query itself never fails — the managed store is durable — so
-        callers observe slowness, not errors (and must survive it).
+        Returns the round-trip delay for the caller to ``yield`` — the
+        kernel's sleep fast path turns it into a timeout without
+        allocating an Event.  During an injected outage the access
+        stalls until the outage lifts; during a latency spike it pays
+        the extra delay.  The query itself never fails — the managed
+        store is durable — so callers observe slowness, not errors (and
+        must survive it).
         """
         self.queries += 1
         delay = self.rtt_mean
@@ -65,7 +69,7 @@ class MetadataStore:
             delay += abs(self._rng.gauss(0.0, self.rtt_jitter))
         if self.faults is not None:
             delay += self.faults.metadata_delay(self.env.now)
-        return self.env.timeout(delay)
+        return delay
 
     # -- ownership table (§5.3) -------------------------------------------
 

@@ -117,7 +117,7 @@ class FinderService:
         previous = None
         last_broadcast = 0.0
         while True:
-            yield env.timeout(self.tick_interval)
+            yield self.tick_interval
             # The cut computation reads/writes the durable store.
             started = env.now
             yield self.metadata.access()
@@ -229,7 +229,7 @@ class ClusterManager:
     def schedule_failure(self, at_time: float) -> None:
         def fire():
             delay = max(0.0, at_time - self.env.now)
-            yield self.env.timeout(delay)
+            yield delay
             self.trigger_worldline_bump()
         self.env.process(fire(), name=f"failure@{at_time}")
 
@@ -266,7 +266,7 @@ class ClusterManager:
         """
         env = self.env
         while True:
-            yield env.timeout(self.ack_timeout)
+            yield self.ack_timeout
             pending = self._pending.get(world_line)
             if pending is None:
                 return  # everyone acked
@@ -285,7 +285,7 @@ class ClusterManager:
         env = self.env
         check_interval = self.heartbeat_timeout / 4
         while True:
-            yield env.timeout(check_interval)
+            yield check_interval
             # Seed the clock for restartable workers that have never
             # beaten, so a worker that crashes before its first
             # heartbeat is still caught within heartbeat_timeout.
@@ -329,7 +329,7 @@ class ClusterManager:
         env.process(self._retransmit_loop(plan.world_line, command),
                     name=f"manager-retx:{plan.world_line}")
         # Bounded-time restart of the failed worker from durable state.
-        yield env.timeout(self.restart_delay)
+        yield self.restart_delay
         worker = self.worker_registry.get(worker_id)
         if worker is not None:
             resume = self.controller.finder.table.max_version() + 1

@@ -197,25 +197,32 @@ class DFasterWorker:
 
     def _server_thread(self, thread_id: int):
         env = self.env
+        # Bound-method hoists: this loop turns over once per served batch.
+        work_get = self.work.get
+        batch_time = self.cost.server_batch_time
+        execute = self._execute
+        send = self.net.send
+        address = self.address
         while True:
-            request: BatchRequest = yield self.work.get()
+            request: BatchRequest = yield work_get()
             if self.crashed:
                 continue  # request raced the crash; drop it
             write_fraction = (request.write_count / request.op_count
                               if request.op_count else 0.0)
             rcu = self._rcu_probability()
-            service = self.cost.server_batch_time(
+            service = batch_time(
                 request.op_count, write_fraction, rcu,
                 self._slowdown(), dpr=self.dpr_enabled,
             )
-            yield env.timeout(service)
-            if env.tracer is not None:
-                env.tracer.span("worker.batch_service", env.now, service,
-                                worker=self.address)
-            reply = self._execute(request)
+            yield service
+            tracer = env.tracer
+            if tracer is not None:
+                tracer.span("worker.batch_service", env.now, service,
+                            worker=address)
+            reply = execute(request)
             self.batches_served += 1
-            self.net.send(self.address, request.reply_to, reply,
-                          size_ops=request.op_count)
+            send(address, request.reply_to, reply,
+                 size_ops=request.op_count)
 
     def _rcu_probability(self) -> float:
         engine = self.engine
@@ -302,18 +309,12 @@ class DFasterWorker:
         # Fast-forwards triggered by the client's Vs seal implicitly;
         # their flushes must run (FIFO) like any other checkpoint.
         self._enqueue_autosealed()
+        # Positional: this is the per-batch success path.
         return BatchReply(
-            batch_id=request.batch_id,
-            session_id=request.session_id,
-            object_id=self.engine.object_id,
-            status="ok",
-            world_line=self.engine.world_line.current,
-            version=version,
-            op_count=request.op_count,
-            cut=self.cached_cut if self.dpr_enabled else None,
-            served_at=self.env.now,
-            results=reply_results,
-        )
+            request.batch_id, request.session_id, self.engine.object_id,
+            "ok", self.engine.world_line.current, version, request.op_count,
+            self.cached_cut if self.dpr_enabled else None,
+            self.env.now, reply_results)
 
     def _enqueue_autosealed(self) -> None:
         for descriptor in self.engine.drain_sealed():
@@ -325,7 +326,7 @@ class DFasterWorker:
     def _checkpoint_loop(self):
         env = self.env
         while self.running:
-            yield env.timeout(self.checkpoint_interval)
+            yield self.checkpoint_interval
             if self.crashed:
                 continue
             if self._machine_busy:
@@ -352,7 +353,7 @@ class DFasterWorker:
         self._slow_until = env.now + self.cost.transition_window
         flushed = env.event(name=f"flush-done:{self.address}")
         self._flush_queue.put((descriptor, flushed))
-        yield env.timeout(self.cost.transition_window)
+        yield self.cost.transition_window
         yield flushed
         self._machine_busy = False
 
@@ -437,7 +438,7 @@ class DFasterWorker:
         if applied:
             self.engine.restore(target, world_line=command.world_line)
             self.cached_cut = command.cut
-        yield env.timeout(self.cost.rollback_window)
+        yield self.cost.rollback_window
         if applied and env.tracer is not None:
             env.tracer.span("worker.rollback", env.now,
                             self.cost.rollback_window,
@@ -455,7 +456,7 @@ class DFasterWorker:
         from repro.cluster.messages import Heartbeat
         env = self.env
         while self.running:
-            yield env.timeout(self.heartbeat_interval)
+            yield self.heartbeat_interval
             if not self.crashed:
                 self.net.send(self.address, self.manager_address,
                               Heartbeat(self.address), size_ops=1)

@@ -29,8 +29,16 @@ class ApproximateDprFinder(DprFinder):
         super().__init__(table)
         #: Aggregate scans of the durable version table, the algorithm's
         #: dominant cost (two SQL aggregates per tick, pushed down to
-        #: the metadata store).
+        #: the metadata store).  Counts *logical* scans — one per tick —
+        #: even when the memo below answers from cache.
         self.table_scans = 0
+        # Memo of the last published cut: the table's revision counter
+        # plus Vmin pin down the cut exactly (it is ``{obj: Vmin}`` over
+        # the current membership), and DprCut is immutable, so reusing
+        # the object between quiet ticks is observationally invisible.
+        self._cut_revision = -1
+        self._cut_minimum = NEVER_COMMITTED
+        self._cut_cache = DprCut()
 
     def report_seal(self, descriptor: CommitDescriptor) -> None:
         """Dependencies are deliberately discarded (that is the point)."""
@@ -50,5 +58,12 @@ class ApproximateDprFinder(DprFinder):
         minimum = self.table.min_version()
         if minimum <= NEVER_COMMITTED:
             return self._publish(DprCut())
-        cut = DprCut({obj: minimum for obj in self.table.members()})
+        revision = self.table.revision
+        if revision == self._cut_revision and minimum == self._cut_minimum:
+            cut = self._cut_cache
+        else:
+            cut = DprCut({obj: minimum for obj in self.table.members()})
+            self._cut_revision = revision
+            self._cut_minimum = minimum
+            self._cut_cache = cut
         return self._publish(cut)

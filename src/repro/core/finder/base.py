@@ -37,6 +37,14 @@ class VersionTable:
         self._rows: Dict[str, int] = {}
         self._cut: DprCut = DprCut()
         self._world_line: int = 0
+        # Cached aggregates: the min/max scans run once per finder tick,
+        # which dominated approximate-finder profiles.  ``None`` marks a
+        # stale cache; mutations below keep them incrementally fresh
+        # where cheap and invalidate otherwise.  ``revision`` bumps on
+        # every row mutation so finders can cache derived values.
+        self._min_cache: Optional[int] = None
+        self._max_cache: Optional[int] = None
+        self.revision = 0
 
     # -- dpr rows -----------------------------------------------------
 
@@ -45,11 +53,31 @@ class VersionTable:
         is how membership registration makes a never-committed shard
         hold the cut back); never lowers an existing row."""
         current = self._rows.get(object_id)
-        if current is None or persisted_version > current:
+        if current is None:
             self._rows[object_id] = persisted_version
+            # A new row can only lower the min / raise the max.
+            if self._min_cache is not None and persisted_version < self._min_cache:
+                self._min_cache = persisted_version
+            if self._max_cache is not None and persisted_version > self._max_cache:
+                self._max_cache = persisted_version
+            self.revision += 1
+        elif persisted_version > current:
+            self._rows[object_id] = persisted_version
+            if self._max_cache is not None and persisted_version > self._max_cache:
+                self._max_cache = persisted_version
+            if current == self._min_cache:
+                # The raised row may have been the unique minimum.
+                self._min_cache = None
+            self.revision += 1
 
     def delete(self, object_id: str) -> None:
-        self._rows.pop(object_id, None)
+        removed = self._rows.pop(object_id, None)
+        if removed is not None:
+            if removed == self._min_cache:
+                self._min_cache = None
+            if removed == self._max_cache:
+                self._max_cache = None
+            self.revision += 1
 
     def rows(self) -> Dict[str, int]:
         return dict(self._rows)
@@ -58,16 +86,20 @@ class VersionTable:
         return list(self._rows)
 
     def min_version(self) -> int:
-        """``SELECT min(persistedVersion) FROM dpr``."""
+        """``SELECT min(persistedVersion) FROM dpr`` (cached)."""
         if not self._rows:
             return NEVER_COMMITTED
-        return min(self._rows.values())
+        if self._min_cache is None:
+            self._min_cache = min(self._rows.values())
+        return self._min_cache
 
     def max_version(self) -> int:
-        """``SELECT max(persistedVersion) FROM dpr`` (the ``Vmax`` rule)."""
+        """``SELECT max(persistedVersion) FROM dpr`` (cached)."""
         if not self._rows:
             return NEVER_COMMITTED
-        return max(self._rows.values())
+        if self._max_cache is None:
+            self._max_cache = max(self._rows.values())
+        return self._max_cache
 
     # -- published cut (fault-tolerant consensus on the guarantee) -----
 

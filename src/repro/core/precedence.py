@@ -44,6 +44,19 @@ class PrecedenceGraph:
         #: per-object sorted list of committed versions
         self._versions: Dict[str, List[int]] = defaultdict(list)
         self._enforce = enforce_monotonicity
+        # Incremental mirrors of the durability state, maintained on
+        # report_persist/prune instead of rescanned per finder tick:
+        # per-object persisted-version int sets (avoids Token churn in
+        # the fixpoint inner loop) and the per-object max persisted
+        # version (the fixpoint seed, previously an O(versions) scan).
+        self._persisted_by_object: Dict[str, Set[int]] = {}
+        self._max_persisted: Dict[str, int] = {}
+        # Structural revision counter + single-entry cut memo: between
+        # graph mutations the maximal closed cut is unchanged, and
+        # finder ticks far outnumber mutations on quiet intervals.
+        self._revision = 0
+        self._cut_key: Optional[tuple] = None
+        self._cut_cache: Optional[DprCut] = None
 
     # -- construction ---------------------------------------------------
 
@@ -72,12 +85,21 @@ class PrecedenceGraph:
                 f"non-increasing version {token} after {token.object_id}-{versions[-1]}"
             )
         versions.append(token.version)
+        self._revision += 1
 
     def mark_persisted(self, token: Token) -> None:
         """Mark a previously added commit as durable."""
         if token not in self._descriptors:
             raise KeyError(f"unknown token {token}")
         self._persisted.add(token)
+        object_id, version = token.object_id, token.version
+        per_object = self._persisted_by_object.get(object_id)
+        if per_object is None:
+            per_object = self._persisted_by_object[object_id] = set()
+        per_object.add(version)
+        if version > self._max_persisted.get(object_id, NEVER_COMMITTED):
+            self._max_persisted[object_id] = version
+        self._revision += 1
 
     def forget_object(self, object_id: str) -> None:
         """Drop all state for an object (used when a shard is removed)."""
@@ -85,6 +107,9 @@ class PrecedenceGraph:
             token = Token(object_id, version)
             self._descriptors.pop(token, None)
             self._persisted.discard(token)
+        self._persisted_by_object.pop(object_id, None)
+        self._max_persisted.pop(object_id, None)
+        self._revision += 1
 
     def prune_below(self, cut: DprCut) -> int:
         """Garbage-collect versions at or below the stable cut.
@@ -97,13 +122,27 @@ class PrecedenceGraph:
         for object_id, versions in list(self._versions.items()):
             floor = cut.version_of(object_id)
             keep = [v for v in versions if v > floor]
+            if len(keep) == len(versions):
+                continue
+            per_object = self._persisted_by_object.get(object_id)
             for version in versions:
                 if version <= floor:
                     token = Token(object_id, version)
                     self._descriptors.pop(token, None)
                     self._persisted.discard(token)
+                    if per_object is not None:
+                        per_object.discard(version)
                     removed += 1
             self._versions[object_id] = keep
+            # The pruned range may have held the cached max; re-derive it
+            # from the surviving persisted versions.
+            if self._max_persisted.get(object_id, NEVER_COMMITTED) <= floor:
+                if per_object:
+                    self._max_persisted[object_id] = max(per_object)
+                else:
+                    self._max_persisted.pop(object_id, None)
+        if removed:
+            self._revision += 1
         return removed
 
     # -- queries ----------------------------------------------------------
@@ -127,12 +166,13 @@ class PrecedenceGraph:
         return list(self._versions.get(object_id, ()))
 
     def max_persisted_version(self, object_id: str) -> int:
-        """Largest durable version of an object (cumulative restore point)."""
-        best = NEVER_COMMITTED
-        for version in self._versions.get(object_id, ()):
-            if version > best and Token(object_id, version) in self._persisted:
-                best = version
-        return best
+        """Largest durable version of an object (cumulative restore point).
+
+        O(1): maintained incrementally by :meth:`mark_persisted` /
+        :meth:`prune_below` / :meth:`forget_object` instead of scanning
+        the version list on every call.
+        """
+        return self._max_persisted.get(object_id, NEVER_COMMITTED)
 
     def _dep_satisfied_at(self, dep: Token, cut: Dict[str, int]) -> bool:
         return cut.get(dep.object_id, NEVER_COMMITTED) >= dep.version
@@ -189,8 +229,17 @@ class PrecedenceGraph:
         floor are treated as satisfied, and no object's position drops
         below it.
         """
+        # Memo: the cut is a pure function of the graph state, which the
+        # revision counter fingerprints — quiet ticks return the cached
+        # (immutable) DprCut without re-running the fixpoint.
+        key = (self._revision, floor)
+        if key == self._cut_key and self._cut_cache is not None:
+            return self._cut_cache
+        max_persisted = self._max_persisted
+        persisted_by_object = self._persisted_by_object
+        empty: Set[int] = set()
         cut: Dict[str, int] = {
-            obj: max(self.max_persisted_version(obj), floor)
+            obj: max(max_persisted.get(obj, NEVER_COMMITTED), floor)
             for obj in self._versions
         }
         changed = True
@@ -198,18 +247,18 @@ class PrecedenceGraph:
             changed = False
             for object_id, versions in self._versions.items():
                 ceiling = cut.get(object_id, NEVER_COMMITTED)
+                persisted_here = persisted_by_object.get(object_id, empty)
                 for version in versions:
                     if version > ceiling:
                         break
                     if version <= floor:
                         continue
-                    token = Token(object_id, version)
-                    descriptor = self._descriptors[token]
-                    bad = not self.is_persisted(token) or any(
+                    descriptor = self._descriptors[Token(object_id, version)]
+                    bad = version not in persisted_here or any(
                         dep.version > floor
                         and (
-                            not self._dep_satisfied_at(dep, cut)
-                            or not self._dep_durable(dep)
+                            cut.get(dep.object_id, NEVER_COMMITTED) < dep.version
+                            or max_persisted.get(dep.object_id, NEVER_COMMITTED) < dep.version
                         )
                         for dep in descriptor.deps
                     )
@@ -220,12 +269,15 @@ class PrecedenceGraph:
                         for candidate in versions:
                             if candidate >= version:
                                 break
-                            if candidate > floor and Token(object_id, candidate) in self._persisted:
+                            if candidate > floor and candidate in persisted_here:
                                 new_ceiling = candidate
                         cut[object_id] = new_ceiling
                         changed = True
                         break
-        return DprCut({obj: ver for obj, ver in cut.items() if ver > NEVER_COMMITTED})
+        result = DprCut({obj: ver for obj, ver in cut.items() if ver > NEVER_COMMITTED})
+        self._cut_key = key
+        self._cut_cache = result
+        return result
 
     def _dep_durable(self, dep: Token) -> bool:
         """Whether some persisted token covers the dependency."""

@@ -8,9 +8,10 @@ what was lost.  DPR progress (cut advancement) is halted until every
 shard reports completion, then resumes (§4.1).
 
 :class:`RecoveryController` is the pure protocol logic; the simulated
-cluster (:mod:`repro.cluster.manager`) drives it over the network with
-timing and restarts, and the synchronous :meth:`recover` convenience is
-what the unit and property tests use.
+cluster (:class:`~repro.cluster.services.ClusterManager`) drives it
+over the network with timing and restarts, and the synchronous
+:meth:`RecoveryController.recover` convenience is what the unit and
+property tests use.
 """
 
 from __future__ import annotations

@@ -14,6 +14,7 @@ scheduled partitions — that real networks exhibit between crashes.
 
 from __future__ import annotations
 
+import heapq
 import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
@@ -41,16 +42,28 @@ class NetworkConfig:
     loopback_latency: float = 0.0
 
 
-@dataclass
 class Message:
-    """A delivered network message."""
+    """A delivered network message.
 
-    src: str
-    dst: str
-    payload: Any
-    size_ops: int = 1
-    send_time: float = 0.0
-    deliver_time: float = 0.0
+    A plain ``__slots__`` class rather than a dataclass: one Message is
+    allocated per delivery attempt, which makes construction cost part
+    of the per-batch hot path.
+    """
+
+    __slots__ = ("src", "dst", "payload", "size_ops", "send_time", "deliver_time")
+
+    def __init__(self, src: str, dst: str, payload: Any, size_ops: int = 1,
+                 send_time: float = 0.0, deliver_time: float = 0.0):
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size_ops = size_ops
+        self.send_time = send_time
+        self.deliver_time = deliver_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Message(src={self.src!r}, dst={self.dst!r}, "
+                f"payload={self.payload!r}, size_ops={self.size_ops})")
 
 
 @dataclass
@@ -138,29 +151,43 @@ class Network:
         else:
             extra_delays = (0.0,)
         sender.sent += 1
+        env = self.env
+        now = env._now
+        config = self.config
+        heap = env._heap
+        deliver = self._deliver
         for extra in extra_delays:
-            delay = self.latency(src, dst, size_ops) + extra
-            message = Message(
-                src=src,
-                dst=dst,
-                payload=payload,
-                size_ops=size_ops,
-                send_time=self.env.now,
-                deliver_time=self.env.now + delay,
-            )
+            # Inlined self.latency(...): send() is the hottest cluster
+            # entry point and the jitter draw order must be preserved
+            # exactly, so the expression mirrors latency() line for line.
+            if src == dst:
+                delay = config.loopback_latency
+            else:
+                delay = config.base_oneway + config.per_op * size_ops
+                if config.jitter_stddev > 0:
+                    delay += abs(self._rng.gauss(0.0, config.jitter_stddev))
+            delay += extra
+            message = Message(src, dst, payload, size_ops, now, now + delay)
+            # Fast path: one plain heap entry per delivery instead of a
+            # Timeout event plus a per-message closure (same heap slot
+            # count, so event ordering is unchanged).
+            env._sequence += 1
+            heapq.heappush(heap, (now + delay, env._sequence, (deliver, message)))
 
-            def deliver(_event, message=message):
-                if not target.up:
-                    target.dropped += 1
-                    if self.env.tracer is not None:
-                        self.env.tracer.counter("net.dropped_down")
-                    return
-                target.received += 1
-                target.inbox.put(message)
-                if self.env.tracer is not None:
-                    self.env.tracer.span(
-                        "net.delivery", self.env.now,
-                        self.env.now - message.send_time,
-                        link=message.src + ">" + message.dst)
-
-            self.env.timeout(delay).add_callback(deliver)
+    def _deliver(self, message: Message) -> None:
+        """Complete an in-flight delivery (runs at ``deliver_time``)."""
+        target = self._endpoints[message.dst]
+        tracer = self.env.tracer
+        if not target.up:
+            target.dropped += 1
+            if tracer is not None:
+                tracer.counter("net.dropped_down")
+            return
+        target.received += 1
+        target.inbox.put(message)
+        if tracer is not None:
+            now = self.env.now
+            tracer.span(
+                "net.delivery", now,
+                now - message.send_time,
+                link=message.src + ">" + message.dst)

@@ -27,6 +27,10 @@ class Queue:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._closed = False
+        # Label strings are built once here: put()/get() run hundreds of
+        # thousands of times per bench, so per-call formatting shows up.
+        self._depth_key = ("queue." + name) if name else ""
+        self._get_name = "get:" + name
 
     def __len__(self) -> int:
         return len(self._items)
@@ -45,12 +49,12 @@ class Queue:
         else:
             self._items.append(item)
             tracer = self.env.tracer
-            if tracer is not None and self.name:
-                tracer.queue_depth("queue." + self.name, len(self._items))
+            if tracer is not None and self._depth_key:
+                tracer.queue_depth(self._depth_key, len(self._items))
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""
-        event = self.env.event(name=f"get:{self.name}")
+        event = Event(self.env, name=self._get_name)
         if self._items:
             event.succeed(self._items.popleft())
         elif self._closed:

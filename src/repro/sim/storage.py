@@ -107,7 +107,7 @@ class StorageDevice:
             return event
         delay = self.write_latency(size_bytes)
 
-        def complete(_timeout):
+        def complete(_arg):
             if self._failed:
                 event.fail(DeviceFailed(f"{self.kind.value} device crashed mid-write"))
                 return
@@ -115,7 +115,7 @@ class StorageDevice:
             self.writes_completed += 1
             event.succeed(size_bytes)
 
-        self.env.timeout(delay).add_callback(complete)
+        self.env.call_later(delay, complete)
         return event
 
     def read(self, size_bytes: int) -> Event:
@@ -126,9 +126,8 @@ class StorageDevice:
             return event
         # Reads are modelled at the same cost as writes; good enough for
         # recovery timing, which is dominated by the checkpoint size.
-        self.env.timeout(self.write_latency(size_bytes)).add_callback(
-            lambda _t: event.succeed(size_bytes)
-        )
+        self.env.call_later(self.write_latency(size_bytes),
+                            lambda _arg: event.succeed(size_bytes))
         return event
 
 

@@ -26,6 +26,24 @@ class Distribution(enum.Enum):
     ZIPFIAN = "zipfian"
 
 
+#: Memo for the Zipfian effective (perplexity) keyspace, keyed on the
+#: exact ``(item_count, theta)`` pair.  The computation walks a 100k-term
+#: entropy sum and is a pure function of its arguments, so caching the
+#: float reproduces it bit-for-bit; every experiment in a figure sweep
+#: shares the same handful of workload specs.
+_EFFECTIVE_KEYSPACE_CACHE: dict = {}
+
+
+def _effective_keyspace(item_count: int, theta: float) -> float:
+    key = (item_count, theta)
+    value = _EFFECTIVE_KEYSPACE_CACHE.get(key)
+    if value is None:
+        generator = ZipfianGenerator(item_count, theta=theta,
+                                     rng=random.Random(0))
+        value = _EFFECTIVE_KEYSPACE_CACHE[key] = generator.effective_keyspace()
+    return value
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """An R:BU single-key workload (the paper's notation, §7.1)."""
@@ -56,10 +74,7 @@ class WorkloadSpec:
         per_shard = self.shard_keys(shard_count)
         if self.distribution is Distribution.UNIFORM:
             return per_shard
-        generator = ZipfianGenerator(max(2, int(self.keyspace)),
-                                     theta=self.theta,
-                                     rng=random.Random(0))
-        effective = generator.effective_keyspace()
+        effective = _effective_keyspace(max(2, int(self.keyspace)), self.theta)
         return max(1.0, effective / max(1, shard_count))
 
     def batch_write_count(self, batch_size: int,

@@ -99,6 +99,7 @@ class TestFramework:
     def test_baseline_suppresses_recorded_findings(self, tmp_path):
         files = {
             "repro/core/clock.py": """\
+                \"\"\"Fixture.\"\"\"
                 import time
 
                 def stamp():
@@ -134,7 +135,7 @@ class TestFramework:
         expected = {
             "DPR-D01", "DPR-D02", "DPR-D03",
             "DPR-P01", "DPR-P02", "DPR-P03", "DPR-P04",
-            "DPR-H01", "DPR-H02", "DPR-H03",
+            "DPR-H01", "DPR-H02", "DPR-H03", "DPR-H04",
             "DPR-O01",
         }
         assert {rule.id for rule in all_rules()} == expected
@@ -503,6 +504,79 @@ class TestHygieneRules:
         })
         assert "DPR-H03" not in rules_found(findings)
 
+    def test_h04_missing_module_docstring(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/util.py": "def f():\n    return 1\n",
+        })
+        h04 = [f for f in findings if f.rule == "DPR-H04"]
+        assert len(h04) == 1
+        assert "no docstring" in h04[0].message
+
+    def test_h04_empty_init_is_exempt(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/util.py": '"""Documented."""\n',
+        })
+        assert "DPR-H04" not in rules_found(findings)
+
+    def test_h04_stale_dotted_reference(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/core/probe.py": """\
+                \"\"\"Drives :class:`~repro.core.engine.Engine`.\"\"\"
+            """,
+            "repro/core/other.py": """\
+                \"\"\"Defines :func:`helper` and uses
+                :class:`~repro.core.other.Gone`.\"\"\"
+
+                def helper():
+                    return 1
+            """,
+        })
+        h04 = [f for f in findings if f.rule == "DPR-H04"]
+        messages = " | ".join(f.message for f in h04)
+        assert "repro.core.engine" in messages   # module gone
+        assert "`Gone`" in messages              # name gone
+        assert "`helper`" not in messages        # still defined
+
+    def test_h04_stale_bare_reference(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/core/probe.py": """\
+                \"\"\"Builds on :class:`Removed`.\"\"\"
+
+                class Kept:
+                    \"\"\"See :meth:`Kept.run` and :meth:`run`.\"\"\"
+
+                    def run(self):
+                        return 1
+            """,
+        })
+        h04 = [f for f in findings if f.rule == "DPR-H04"]
+        assert len(h04) == 1
+        assert "`Removed`" in h04[0].message
+
+    def test_h04_resolvable_references_are_clean(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/core/engine.py": """\
+                \"\"\"Defines :class:`Engine`.\"\"\"
+
+                class Engine:
+                    def start(self):
+                        self.started = True
+            """,
+            "repro/core/probe.py": """\
+                \"\"\"Uses :class:`~repro.core.engine.Engine`,
+                :meth:`~repro.core.engine.Engine.start`,
+                :attr:`~repro.core.engine.Engine.started`,
+                :class:`random.Random`, :exc:`ValueError`, and the
+                imported :class:`Engine` alias.\"\"\"
+
+                from repro.core.engine import Engine
+
+                class Sub(Engine):
+                    \"\"\"Inherits :meth:`Sub.start` from the base.\"\"\"
+            """,
+        })
+        assert "DPR-H04" not in rules_found(findings)
+
 
 class TestObservabilityRules:
     def test_o01_obs_module_importing_protocol_code(self, tmp_path):
@@ -610,6 +684,7 @@ class TestCli:
     def test_json_format(self, tmp_path):
         write_tree(tmp_path, {
             "repro/core/clock.py": """\
+                \"\"\"Fixture.\"\"\"
                 import time
 
                 def stamp():

@@ -1,0 +1,61 @@
+"""Deterministic kernel-event budget for the fig10 smoke configuration.
+
+The hot-path overhaul (docs/PERFORMANCE.md) holds throughput by keeping
+the *number* of kernel events per batch flat: every fast path (plain
+heap tuples for deliveries, number-sleeps instead of Timeout events)
+consumes exactly one heap slot where the old code consumed one.  Wall
+clock is machine-dependent and gated in CI instead (the perf-smoke
+job); the event count is exactly reproducible, so it gets a hard test.
+
+If this fails after an intentional protocol change (more messages per
+batch, a new background loop), re-measure and move the budget with the
+change — the point is that event-count growth is a *decision*, never an
+accident of a refactor.
+"""
+
+from repro.bench.harness import run_dfaster_experiment
+from repro.obs import Tracer
+from repro.workloads import YCSB_A
+
+#: Exact dispatch count of the smoke cell below, as of the hot-path
+#: overhaul.  The assertion allows 5% headroom so byte-level-neutral
+#: refactors that legitimately reshuffle a few control events (e.g. a
+#: changed shutdown order) don't trip it.
+SMOKE_DISPATCH_BASELINE = 13_679
+SMOKE_DISPATCH_BUDGET = int(SMOKE_DISPATCH_BASELINE * 1.05)
+
+#: The heap should stay shallow: depth scales with in-flight work
+#: (windows x clients), not with run length.
+SMOKE_HEAP_DEPTH_BUDGET = 160
+
+
+def _run_smoke() -> Tracer:
+    tracer = Tracer()
+    run_dfaster_experiment(
+        "fig10 smoke", duration=0.1, warmup=0.05,
+        n_workers=2, n_client_machines=2, workload=YCSB_A,
+        tracer=tracer)
+    return tracer
+
+
+class TestKernelEventBudget:
+    def test_dispatch_count_within_budget(self):
+        tracer = _run_smoke()
+        dispatched = tracer.counters["kernel.dispatched"]
+        # A collapsed counter (or a tracer that stopped seeing the
+        # kernel) would pass a bare <=; require the real workload too.
+        assert dispatched > SMOKE_DISPATCH_BASELINE * 0.5
+        assert dispatched <= SMOKE_DISPATCH_BUDGET, (
+            f"kernel dispatched {dispatched:.0f} events, budget is "
+            f"{SMOKE_DISPATCH_BUDGET} — see tests/test_perf_budget.py "
+            f"for how to move the budget deliberately")
+
+    def test_dispatch_count_is_deterministic(self):
+        first = _run_smoke().counters["kernel.dispatched"]
+        second = _run_smoke().counters["kernel.dispatched"]
+        assert first == second
+
+    def test_heap_depth_within_budget(self):
+        tracer = _run_smoke()
+        depth = tracer.queue_high_watermarks["kernel.heap"]
+        assert 0 < depth <= SMOKE_HEAP_DEPTH_BUDGET

@@ -174,11 +174,76 @@ class TestProcess:
 
     def test_yield_non_event_rejected(self, env):
         def bad():
-            yield 42
+            yield "not an event"
 
         env.process(bad())
         with pytest.raises(SimulationError):
             env.run()
+
+    def test_yield_number_sleeps(self, env):
+        # The sleep fast path: ``yield delay`` == ``yield env.timeout(delay)``.
+        times = []
+
+        def proc():
+            yield 1.5
+            times.append(env.now)
+            yield 1
+            times.append(env.now)
+            yield 0
+            times.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert times == [1.5, 2.5, 2.5]
+
+    def test_yield_negative_number_rejected(self, env):
+        def bad():
+            yield -0.5
+
+        env.process(bad())
+        with pytest.raises(ValueError):
+            env.run()
+
+    def test_sleep_and_timeout_share_ordering(self, env):
+        # A plain-number sleep must occupy the same place in the tie-break
+        # order a Timeout would have.
+        order = []
+
+        def sleeper(label):
+            yield 1
+            order.append(label)
+
+        def timeouter(label):
+            yield env.timeout(1)
+            order.append(label)
+
+        env.process(sleeper("a"))
+        env.process(timeouter("b"))
+        env.process(sleeper("c"))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_interrupt_during_number_sleep(self, env):
+        caught = []
+
+        def sleeper():
+            try:
+                yield 10
+            except Interrupt as interrupt:
+                caught.append((env.now, interrupt.cause))
+            yield 1
+
+        def interrupter(target):
+            yield 2
+            target.interrupt("wake")
+
+        target = env.process(sleeper())
+        env.process(interrupter(target))
+        env.run()
+        assert caught == [(2.0, "wake")]
+        # The stale sleep wake-up at t=10 must not resume the process
+        # again: it finished at t=3.
+        assert env.now >= 10 or not target.is_alive
 
     def test_is_alive(self, env):
         def proc():
