@@ -1,4 +1,4 @@
-"""Determinism rules (DPR-D01..D03).
+"""Determinism rules (DPR-D01..D04).
 
 The discrete-event kernel promises that a whole-cluster experiment is
 *exactly reproducible* for a fixed seed: time only advances between
@@ -321,3 +321,37 @@ class NoRealWorldIORule(ModuleRule):
                     yield module.finding(self, node,
                                          f"{resolved}() — {why}")
                     break
+
+
+# -- DPR-D04: builtin hash() on protocol paths --------------------------------
+
+
+@register
+class NoBuiltinHashRule(ModuleRule):
+    """DPR-D04: no builtin ``hash()`` in protocol packages.
+
+    ``hash()`` over ``str``/``bytes`` is salted by PYTHONHASHSEED, so
+    anything derived from it — partition placement, routing, bucket
+    choice — differs between interpreter runs and breaks byte-identical
+    replays.  Protocol code must use a stable digest instead (e.g.
+    ``zlib.crc32`` over canonical bytes, as
+    :class:`repro.cluster.ownership.HashPartitioner` does).
+    """
+
+    id = "DPR-D04"
+    title = "builtin hash() on a protocol path"
+    scope = PROTOCOL_SCOPE
+
+    def check_module(self, module: ModuleInfo,
+                     project: Project) -> Iterator[Finding]:
+        imports = module.import_map()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if resolve_name(node.func, imports) == "hash":
+                yield module.finding(
+                    self, node,
+                    "builtin hash() is PYTHONHASHSEED-salted for str/bytes "
+                    "— use a stable digest (zlib.crc32 over canonical "
+                    "bytes) so placement is identical across runs",
+                )

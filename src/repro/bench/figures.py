@@ -211,10 +211,57 @@ def fig19(scale: float = 1.0) -> Tuple[str, Rows]:
     return "Figure 19: recoverability levels (Mops/s)", rows
 
 
+def elastic(scale: float = 1.0) -> Tuple[str, Rows]:
+    """Throughput timeline across a mid-run scale-out (§5.3).
+
+    Both systems start with two nodes; halfway through, a third node
+    joins and the coordinator live-migrates it a fair share of
+    partitions at checkpoint boundaries.  The timeline shows the
+    transfer windows costing bounded throughput, not availability.
+    """
+    duration = max(0.4, 1.2 * scale)
+    warmup = 0.05
+    grow_at = duration * 0.5
+    bucket = duration / 8
+
+    def grow_plan(cluster, add_node):
+        coordinator = cluster.enable_elasticity(
+            partition_count=32, lease_duration=duration)
+
+        def grow():
+            yield grow_at
+            node = add_node()
+            yield from coordinator.scale_out(node)
+
+        cluster.env.process(grow(), name="elastic-grow")
+
+    results = [
+        ("d-faster", run_dfaster_experiment(
+            "elastic d-faster", duration=duration, warmup=warmup,
+            n_workers=2, n_client_machines=2, workload=YCSB_A,
+            setup=lambda cluster: grow_plan(cluster, cluster.add_worker))),
+        ("d-redis", run_dredis_experiment(
+            "elastic d-redis", duration=duration, warmup=warmup,
+            n_shards=2, n_client_machines=2, mode=RedisMode.DPR,
+            setup=lambda cluster: grow_plan(cluster, cluster.add_shard))),
+    ]
+    rows = []
+    for system, result in results:
+        completed = dict(result.stats.completed.series(bucket))
+        for t_s in sorted(completed):
+            rows.append({
+                "system": system,
+                "t_s": t_s,
+                "phase": "pre" if t_s < grow_at else "post",
+                "completed_mops": completed[t_s] / 1e6,
+            })
+    return "Elasticity: throughput across a mid-run scale-out (Mops/s)", rows
+
+
 FIGURES: Dict[str, Callable[[float], Tuple[str, Rows]]] = {
     "fig10": fig10, "fig11": fig11, "fig12": fig12, "fig13": fig13,
     "fig14": fig14, "fig15": fig15, "fig16": fig16, "fig17": fig17,
-    "fig18": fig18, "fig19": fig19,
+    "fig18": fig18, "fig19": fig19, "elastic": elastic,
 }
 
 

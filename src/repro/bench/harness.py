@@ -107,13 +107,22 @@ def run_dfaster_experiment(label: str, duration: float = 0.3,
                            warmup: float = 0.1,
                            config: Optional[DFasterConfig] = None,
                            failures: Tuple[float, ...] = (),
+                           setup=None,
                            **overrides) -> ExperimentResult:
-    """Run one D-FASTER configuration and summarize it."""
+    """Run one D-FASTER configuration and summarize it.
+
+    ``setup``, when given, is called with the constructed cluster
+    before the run starts — the hook for experiments that need extra
+    wiring (e.g. enabling elasticity and scheduling a mid-run
+    scale-out) without the harness growing a parameter per scenario.
+    """
     if config is None and "tracer" not in overrides:
         overrides["tracer"] = Tracer()
     cluster = DFasterCluster(config, **overrides)
     for at_time in failures:
         cluster.schedule_failure(at_time)
+    if setup is not None:
+        setup(cluster)
     stats = cluster.run(duration, warmup)
     return _summarize(label, stats, warmup, duration,
                       seed=cluster.config.seed,
@@ -123,11 +132,14 @@ def run_dfaster_experiment(label: str, duration: float = 0.3,
 def run_dredis_experiment(label: str, duration: float = 0.3,
                           warmup: float = 0.1,
                           config: Optional[DRedisConfig] = None,
+                          setup=None,
                           **overrides) -> ExperimentResult:
     """Run one D-Redis/Redis configuration and summarize it."""
     if config is None and "tracer" not in overrides:
         overrides["tracer"] = Tracer()
     cluster = DRedisCluster(config, **overrides)
+    if setup is not None:
+        setup(cluster)
     stats = cluster.run(duration, warmup)
     return _summarize(label, stats, warmup, duration,
                       seed=cluster.config.seed,

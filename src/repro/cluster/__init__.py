@@ -25,7 +25,11 @@ Composition (mirrors Figure 6):
 from repro.cluster.costmodel import CostModel
 from repro.cluster.dfaster import DFasterCluster, DFasterConfig
 from repro.cluster.dredis import DRedisCluster, DRedisConfig, RedisMode
-from repro.cluster.elastic import ElasticCoordinator, PartitionedClient
+from repro.cluster.elastic import (
+    ElasticCoordinator,
+    PartitionedClient,
+    RebalancePolicy,
+)
 from repro.cluster.metadata import MetadataStore
 from repro.cluster.modeled import ModeledStore
 
@@ -39,5 +43,6 @@ __all__ = [
     "MetadataStore",
     "ModeledStore",
     "PartitionedClient",
+    "RebalancePolicy",
     "RedisMode",
 ]

@@ -109,7 +109,8 @@ class BatchSession:
         self._abandoned: Dict[int, int] = {}
 
     def new_batch(self, object_id: str, op_count: int, write_count: int,
-                  now: float, reply_to: str) -> BatchRequest:
+                  now: float, reply_to: str,
+                  partition: Optional[int] = None) -> BatchRequest:
         batch_id = self._ids.allocate()
         recent = self._recent
         if recent:
@@ -123,7 +124,7 @@ class BatchSession:
         request = BatchRequest(
             batch_id, self.session_id, reply_to, self.world_line,
             self.version_scalar, first_seqno, op_count, write_count,
-            deps, now)
+            deps, now, None, partition)
         self._next_seqno = first_seqno + op_count
         self.records[batch_id] = BatchRecord(
             batch_id, object_id, first_seqno, op_count, now)
@@ -140,6 +141,11 @@ class BatchSession:
         if record.completed_at is not None:
             return  # duplicated reply; the first copy did the accounting
         self.retry_attempts = 0
+        if reply.object_id != record.object_id:
+            # Live rebalancing (§5.3): the batch executed on a different
+            # shard than it was issued against; commit tracking must
+            # test its version against the executing object's cut entry.
+            record.object_id = reply.object_id
         record.version = reply.version
         record.completed_at = now
         self.outstanding_ops -= record.op_count
@@ -251,6 +257,7 @@ class ClientMachine:
         retry_delay: float = 2e-3,
         retry_backoff_cap: float = 0.1,
         request_timeout: float = 0.2,
+        router=None,
     ):
         self.env = env
         self.net = net
@@ -269,6 +276,12 @@ class ClientMachine:
         #: crashed mid-flight); the TCP analog of a broken connection.
         self.request_timeout = request_timeout
         self._rng = make_rng(rng)
+        #: Optional ElasticCoordinator (§5.3): when set, batches route
+        #: by partition through a locally cached owner map instead of
+        #: uniformly over ``self.workers``.
+        self.router = router
+        self._owner_cache: Dict[int, str] = {}
+        self.not_owner_bounces = 0
         self._batch_ids = BatchIds()
         self.sessions: Dict[str, BatchSession] = {}
         self._wakeups: Dict[str, object] = {}
@@ -309,11 +322,28 @@ class ClientMachine:
                 self._wakeups[session.session_id] = event
                 yield event
                 continue
-            workers = self.workers
-            target = workers[randrange(len(workers))]
+            router = self.router
+            if router is None:
+                workers = self.workers
+                target = workers[randrange(len(workers))]
+                partition = None
+            else:
+                partition = randrange(router.partition_count)
+                target = self._owner_cache.get(partition)
+                if target is None:
+                    # Cache miss: one timed metadata read (§5.3 —
+                    # clients cache the mapping and only re-read it on
+                    # bounces or misses).
+                    yield router.metadata.access()
+                    target = router.metadata.owner_of(partition)
+                    if target is None:
+                        # Mid-transfer, owner-less window: retry.
+                        yield self.retry_delay
+                        continue
+                    self._owner_cache[partition] = target
             write_count = write_count_of(batch_size, rng)
             request = new_batch(target, batch_size, write_count,
-                                env.now, address)
+                                env.now, address, partition)
             send(address, target, request, size_ops=batch_size)
             yield issue_cost
 
@@ -335,6 +365,16 @@ class ClientMachine:
             if reply.status == "rolled_back":
                 session.handle_rollback(reply.world_line, reply.cut, env.now,
                                         self.recovery_pause)
+            elif reply.status == "not_owner":
+                # Bounced off a stale owner mapping (§5.3): the ops
+                # never ran, so forget the batch, invalidate the cached
+                # entry, and let the issue loop re-resolve the owner.
+                session.drop(reply.batch_id)
+                self.not_owner_bounces += 1
+                if reply.partition is not None:
+                    self._owner_cache.pop(reply.partition, None)
+                session.paused_until = max(session.paused_until,
+                                           env.now + self.retry_delay)
             elif reply.status == "retry":
                 session.drop(reply.batch_id)
                 # Exponential backoff with seeded jitter: repeated

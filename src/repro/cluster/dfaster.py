@@ -139,6 +139,8 @@ class DFasterCluster:
             self.workers.append(worker)
             self.manager.worker_registry[address] = worker
 
+        #: Set by :meth:`enable_elasticity`.
+        self.elastic = None
         self.clients: List[ClientMachine] = []
         self._colocated: List["_ColocatedDriver"] = []
         if config.colocated:
@@ -207,6 +209,31 @@ class DFasterCluster:
 
     # -- membership changes (§5.3) ------------------------------------------------
 
+    def enable_elasticity(self, partition_count: int = 32,
+                          lease_duration: float = 0.5):
+        """Turn on §5.3 live rebalancing for this cluster.
+
+        Builds an :class:`~repro.cluster.elastic.ElasticCoordinator`
+        over the current workers (attaching lease views and starting
+        metadata-validated renewal) and switches every fleet client to
+        partition routing through it.  Call before :meth:`run`.
+        """
+        from repro.cluster.elastic import ElasticCoordinator
+        if self.elastic is not None:
+            return self.elastic
+        if self.config.colocated:
+            raise ValueError(
+                "elasticity is not supported in co-located mode: "
+                "co-located sessions bypass partition routing")
+        self.elastic = ElasticCoordinator(
+            self.env, self.metadata, self.workers,
+            partition_count=partition_count,
+            lease_duration=lease_duration,
+        )
+        for client in self.clients:
+            client.router = self.elastic
+        return self.elastic
+
     def add_worker(self) -> DFasterWorker:
         """Grow the cluster: adding a worker is adding a row to the DPR
         table (§5.3).  The newcomer fast-forwards to Vmax via the §3.4
@@ -249,6 +276,13 @@ class DFasterCluster:
         for client in self.clients:
             if worker.address in client.workers:
                 client.workers.remove(worker.address)
+            # Cached partition mappings pointing at the departed worker
+            # would bounce forever; drop them so routing re-resolves.
+            stale = [partition for partition, owner
+                     in client._owner_cache.items()
+                     if owner == worker.address]
+            for partition in stale:
+                del client._owner_cache[partition]
 
 
 class _ColocatedDriver:

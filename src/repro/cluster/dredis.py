@@ -36,6 +36,7 @@ from repro.cluster.messages import (
 )
 from repro.cluster.metadata import MetadataStore
 from repro.cluster.modeled import ModeledStore
+from repro.cluster.ownership import StaleLeaseError
 from repro.cluster.services import ClusterManager, FinderService
 from repro.cluster.stats import ClusterStats
 from repro.cluster.worker import REPLY_CACHE
@@ -151,6 +152,18 @@ class _DRedisProxy:
         )
         self.cached_cut = None
         self.cached_max_version = 0
+        self.checkpoint_interval = config.checkpoint_interval
+        self.running = True
+        self.crashed = False
+        #: Optional lease-guarded ownership view (§5.3), mirroring
+        #: DFasterWorker; set via :meth:`attach_ownership`.
+        self.ownership = None
+        self._lease_metadata = None
+        self.not_owner_rejections = 0
+        #: Guard so a forced checkpoint never overlaps the periodic one
+        #: (BGSAVE is an exclusive latch; overlapping Commits() would
+        #: double-seal).
+        self._committing = False
         #: Duplicate-request suppression, mirroring DFasterWorker: the
         #: network promises at-least-once only, and replaying a batch
         #: through Redis would double-apply it.
@@ -164,6 +177,26 @@ class _DRedisProxy:
         env.process(self._egress_loop(), name=f"proxy-out:{self.address}")
         if self.dpr and config.checkpoints_enabled:
             env.process(self._commit_loop(), name=f"proxy-ckpt:{self.address}")
+
+    # -- ownership (§5.3) -------------------------------------------------
+
+    def attach_ownership(self, view, metadata=None) -> None:
+        """Install a lease-guarded ownership view (see DFasterWorker)."""
+        self.ownership = view
+        self._lease_metadata = metadata
+        if metadata is not None:
+            self.env.process(self._lease_renewal_loop(view),
+                             name=f"lease-renew:{self.address}")
+
+    def _lease_renewal_loop(self, view):
+        period = view.lease_duration / 3.0
+        metadata = self._lease_metadata
+        while self.running and self.ownership is view:
+            yield period
+            if self.crashed or self.ownership is not view:
+                continue
+            yield metadata.access()
+            view.refresh_against(metadata.owner_of)
 
     # -- request path -----------------------------------------------------
 
@@ -197,6 +230,26 @@ class _DRedisProxy:
                 continue
             # Inbound forwarding cost (read header, re-frame).
             yield cost.proxy_time(request.op_count, dpr=self.dpr)
+            if self.ownership is not None and request.partition is not None:
+                try:
+                    # Ownership validation (§5.3): a stale lease bounces
+                    # the batch instead of serving on dead ownership.
+                    self.ownership.validate(request.partition)
+                except StaleLeaseError:
+                    self.not_owner_rejections += 1
+                    bounce = BatchReply(
+                        request.batch_id, request.session_id, self.address,
+                        "not_owner", self.engine.world_line.current, 0,
+                        request.op_count, None, env.now, None,
+                        request.partition)
+                    self.cluster.net.send(self.address, request.reply_to,
+                                          bounce, size_ops=request.op_count)
+                    continue
+                self.ownership.renew(request.partition)
+                if env.tracer is not None:
+                    env.tracer.counter(
+                        "elastic.partition_ops.%d" % request.partition,
+                        request.op_count)
             if self.dpr:
                 reply_or_none = self._dpr_gate(request)
                 if reply_or_none is not None:
@@ -274,10 +327,24 @@ class _DRedisProxy:
     # -- Commit() via BGSAVE ----------------------------------------------------
 
     def _commit_loop(self):
-        env = self.env
-        config = self.cluster.config
         while True:
-            yield config.checkpoint_interval
+            yield self.checkpoint_interval
+            if self._committing:
+                continue  # a forced Commit() is still in flight
+            yield from self._commit_once()
+
+    def request_checkpoint(self) -> bool:
+        """Run one out-of-band Commit() (transfer step 2, §5.3)."""
+        if self._committing or not self.running:
+            return False
+        self.env.process(self._commit_once(),
+                         name=f"forced-ckpt:{self.address}")
+        return True
+
+    def _commit_once(self):
+        env = self.env
+        self._committing = True
+        try:
             if (self.cached_max_version or 0) > self.engine.version:
                 self.engine.fast_forward(self.cached_max_version)
             self._flush_autosealed()
@@ -303,6 +370,8 @@ class _DRedisProxy:
             self.cluster.net.send(self.address, "dpr-finder",
                                   PersistReport(self.address, version),
                                   size_ops=1)
+        finally:
+            self._committing = False
 
     def _flush_autosealed(self) -> None:
         """Fast-forward seals persist with the next RDB write; report
@@ -362,7 +431,10 @@ class DRedisCluster:
 
         self.redis_instances: List[_RedisInstance] = []
         self.proxies: List[_DRedisProxy] = []
+        #: Set by :meth:`enable_elasticity`.
+        self.elastic = None
         client_targets: List[str] = []
+        self.client_targets = client_targets
         for shard in range(config.n_shards):
             redis = _RedisInstance(self.env, self, shard)
             self.redis_instances.append(redis)
@@ -435,3 +507,47 @@ class DRedisCluster:
         if self.config.mode is not RedisMode.DPR:
             raise RuntimeError("failures need DPR mode")
         self.manager.schedule_failure(at_time)
+
+    # -- membership changes (§5.3) -----------------------------------------
+
+    def add_shard(self) -> _DRedisProxy:
+        """Grow the deployment by one shard VM (Redis + DPR proxy).
+
+        DPR mode only: the newcomer registers with the finder (a new
+        row in the DPR table) and clients may route to it.  Pair with
+        ``elastic.scale_out(proxy)`` to hand it partitions.
+        """
+        if self.config.mode is not RedisMode.DPR:
+            raise RuntimeError("add_shard needs DPR mode")
+        config = self.config
+        shard = len(self.redis_instances)
+        redis = _RedisInstance(self.env, self, shard)
+        self.redis_instances.append(redis)
+        device = StorageDevice(self.env, config.storage,
+                               rng=spawn(self._rng, f"dev{shard}"))
+        proxy = _DRedisProxy(self.env, self, shard, redis, device)
+        self.proxies.append(proxy)
+        self.client_targets.append(proxy.address)
+        self.finder.register_object(proxy.address)
+        self.finder_service.workers.append(proxy.address)
+        self.manager.workers.append(proxy.address)
+        for client in self.clients:
+            client.workers.append(proxy.address)
+        return proxy
+
+    def enable_elasticity(self, partition_count: int = 32,
+                          lease_duration: float = 0.5):
+        """Turn on §5.3 live rebalancing over the DPR proxies."""
+        if self.config.mode is not RedisMode.DPR:
+            raise RuntimeError("elasticity needs DPR mode")
+        if self.elastic is not None:
+            return self.elastic
+        from repro.cluster.elastic import ElasticCoordinator
+        self.elastic = ElasticCoordinator(
+            self.env, self.metadata, self.proxies,
+            partition_count=partition_count,
+            lease_duration=lease_duration,
+        )
+        for client in self.clients:
+            client.router = self.elastic
+        return self.elastic

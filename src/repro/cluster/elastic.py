@@ -9,45 +9,83 @@ protocol the paper describes:
    partition is briefly owner-less and clients retry;
 2. the transfer waits for the old owner's next *checkpoint boundary*,
    so ownership is static within every version (the property DPR
-   correctness requires);
+   correctness requires).  An idle or checkpoint-less owner is forced
+   to seal out of band; a departed or wedged one times the wait out
+   onto the *approximate path* (its renounced lease has lapsed, so it
+   cannot serve the partition anyway — the finder's approximate
+   fallback tolerates the cut imprecision, §3.4);
 3. the metadata row flips to the new owner, which grants itself a
    lease and starts serving.
 
-:class:`ElasticCoordinator` drives this on a simulated cluster;
-:class:`PartitionedClient` is a metadata-aware client that routes by
-partition, refreshes its cached mapping on ``not_owner`` bounces, and
-retries through the owner-less window.
+:class:`ElasticCoordinator` drives this on a simulated cluster: it
+attaches lease-guarded views to workers (starting their metadata-
+validated lease-renewal loops), migrates partitions, rebalances by
+load via :class:`RebalancePolicy` (reading per-partition op counters
+from the obs tracer), and grows/shrinks the cluster with
+:meth:`~ElasticCoordinator.scale_out` / :meth:`~ElasticCoordinator.scale_in`.
+
+:class:`PartitionedClient` is a metadata-aware client running a real
+DPR :class:`~repro.core.session.Session` at batch granularity: it
+carries world-lines and the ``Vs`` scalar across owner changes (the new
+owner fast-forwards past every version the session has seen), tracks
+commits against piggybacked cuts, matches replies by batch id (stale
+or duplicated replies are dropped, not misattributed), retransmits
+through loss, and surfaces world-line bumps as
+:class:`~repro.core.session.RollbackError` with the exact surviving
+prefix — which is what lets tests assert prefix recoverability
+*through* a migration.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.messages import BatchReply, BatchRequest
 from repro.cluster.metadata import MetadataStore
 from repro.cluster.ownership import HashPartitioner, OwnershipView
-from repro.cluster.worker import DFasterWorker
+from repro.core.cuts import DprCut
+from repro.core.session import RollbackError, Session
 from repro.sim.kernel import Environment
 from repro.sim.network import Network
+
+
+@dataclass
+class RebalancePolicy:
+    """Knobs for load-aware migration.
+
+    A move is planned when the hottest worker's load exceeds
+    ``hot_factor`` times the mean *and* moving the chosen partition
+    shrinks the hot/cold spread (``2*delta <= hot - cold``) — the
+    improvement test is what prevents a lone hot partition from
+    ping-ponging between two workers forever.
+    """
+
+    #: How often the coordinator samples per-partition op counters.
+    interval: float = 50e-3
+    #: Trigger threshold: hottest worker load vs. mean load.
+    hot_factor: float = 1.5
+    #: Ignore cycles with fewer total ops than this (idle cluster).
+    min_ops: float = 1.0
+    #: Cap on migrations planned per sampling cycle.
+    max_moves_per_cycle: int = 1
 
 
 class ElasticCoordinator:
     """Assigns virtual partitions to workers and migrates them."""
 
     def __init__(self, env: Environment, metadata: MetadataStore,
-                 workers: List[DFasterWorker], partition_count: int = 64,
+                 workers: Sequence[object], partition_count: int = 64,
                  lease_duration: float = 10.0):
         self.env = env
         self.metadata = metadata
-        self.workers = {worker.address: worker for worker in workers}
+        self.partition_count = partition_count
+        self.lease_duration = lease_duration
         self.partitioner = HashPartitioner(partition_count)
         self.views: Dict[str, OwnershipView] = {}
+        self.workers: Dict[str, object] = {}
         for worker in workers:
-            view = OwnershipView(worker.address,
-                                 lease_duration=lease_duration,
-                                 clock=lambda: env.now)
-            worker.ownership = view
-            self.views[worker.address] = view
+            self.attach_worker(worker)
         # Initial round-robin placement.
         addresses = list(self.workers)
         for partition in range(partition_count):
@@ -55,46 +93,264 @@ class ElasticCoordinator:
             self.views[owner].grant(partition)
             metadata.set_owner(partition, owner)
         self.migrations_completed = 0
+        #: Transfers that sealed the old owner out of band (step 2).
+        self.forced_checkpoints = 0
+        #: Transfers that gave up on a checkpoint boundary (departed or
+        #: wedged old owner) and took the approximate path.
+        self.approximate_transfers = 0
+        self.policy: Optional[RebalancePolicy] = None
+        self.rebalancing = False
+        #: (time, partition, target) per policy-driven migration.
+        self.rebalance_moves: List[Tuple[float, int, str]] = []
+        self._tracer = None
+
+    # -- membership --------------------------------------------------------
+
+    def attach_worker(self, worker) -> OwnershipView:
+        """Register a worker: build its lease view and start renewal.
+
+        Workers exposing ``attach_ownership`` get the metadata store
+        too, which activates their metadata-validated lease-renewal
+        loop; anything else just gets ``.ownership`` set.  Renewal only
+        runs in elastic deployments (this method is the only entry), so
+        non-elastic runs never pay — or perturb — its metadata traffic.
+        """
+        address = worker.address
+        if address in self.views:
+            return self.views[address]
+        view = OwnershipView(address, lease_duration=self.lease_duration,
+                             clock=lambda: self.env.now)
+        attach = getattr(worker, "attach_ownership", None)
+        if attach is not None:
+            attach(view, self.metadata)
+        else:
+            worker.ownership = view
+        self.workers[address] = worker
+        self.views[address] = view
+        return view
+
+    def detach_worker(self, address: str) -> None:
+        """Forget a departed worker (its leases die with the view)."""
+        view = self.views.pop(address, None)
+        if view is not None:
+            for partition in sorted(view.owned_partitions()):
+                view.renounce(partition)
+        self.workers.pop(address, None)
 
     def owner_of(self, partition: int) -> Optional[str]:
         return self.metadata.owner_of(partition)
 
+    # -- transfer (§5.3) ---------------------------------------------------
+
     def migrate(self, partition: int, new_owner: str):
         """A generator process performing one §5.3 transfer."""
-        env = self.env
+        if new_owner not in self.views:
+            raise KeyError(f"unknown transfer target {new_owner!r}")
         old_owner = self.metadata.owner_of(partition)
         if old_owner == new_owner:
             return
         if old_owner is not None:
             # Step 1: renounce locally *before* touching the metadata
             # store; requests start bouncing immediately.
-            self.views[old_owner].renounce(partition)
+            view = self.views.get(old_owner)
+            if view is not None:
+                view.renounce(partition)
             yield self.metadata.access()
             self.metadata.set_owner(partition, None)
             # Step 2: defer to the old owner's checkpoint boundary so
             # ownership is static within versions.
-            old_worker = self.workers[old_owner]
-            boundary = old_worker.engine.version
-            while old_worker.engine.version == boundary:
-                yield old_worker.checkpoint_interval / 4
+            yield from self._await_checkpoint_boundary(old_owner)
         # Step 3: install the new owner.
         yield self.metadata.access()
         self.metadata.set_owner(partition, new_owner)
         self.views[new_owner].grant(partition)
         self.migrations_completed += 1
 
+    def _await_checkpoint_boundary(self, old_owner: str):
+        """Wait (boundedly) for the old owner to seal a version.
+
+        Liveness over stall: a departed, crashed, or stopped owner will
+        never seal, and an idle one with checkpoints disabled seals
+        only when asked — so after one patience window the coordinator
+        forces an out-of-band checkpoint, and after a second it falls
+        through to the approximate path.  The renounced lease makes the
+        fall-through safe: by then the old owner bounces every batch
+        for this partition, so no post-transfer op can land in one of
+        its versions.
+        """
+        worker = self.workers.get(old_owner)
+        if (worker is None or getattr(worker, "crashed", False)
+                or not getattr(worker, "running", True)):
+            self.approximate_transfers += 1
+            return
+        interval = getattr(worker, "checkpoint_interval", self.lease_duration)
+        boundary = worker.engine.version
+        poll = interval / 4
+        deadline = self.env.now + 2 * interval
+        forced = False
+        while worker.engine.version == boundary:
+            if self.env.now >= deadline:
+                if forced:
+                    self.approximate_transfers += 1
+                    return
+                request = getattr(worker, "request_checkpoint", None)
+                if request is not None and request():
+                    self.forced_checkpoints += 1
+                forced = True
+                deadline = self.env.now + 2 * interval
+            yield poll
+
+    # -- scale-out / scale-in ----------------------------------------------
+
+    def scale_out(self, worker, partitions: Optional[Sequence[int]] = None):
+        """A generator process: add a worker and migrate it a fair share.
+
+        With ``partitions=None`` the share is chosen deterministically:
+        ``partition_count // n_workers`` partitions, repeatedly taken
+        from whichever current owner holds the most (ties broken by
+        address, partitions by highest id).
+        """
+        self.attach_worker(worker)
+        if partitions is None:
+            partitions = self._fair_share_for(worker.address)
+        for partition in partitions:
+            yield from self.migrate(partition, worker.address)
+
+    def _fair_share_for(self, address: str) -> List[int]:
+        holdings: Dict[str, List[int]] = {}
+        for partition in range(self.partition_count):
+            owner = self.metadata.owner_of(partition)
+            if owner is not None and owner != address:
+                holdings.setdefault(owner, []).append(partition)
+        target = self.partition_count // max(1, len(self.views))
+        share: List[int] = []
+        while len(share) < target and holdings:
+            donor = max(sorted(holdings), key=lambda a: len(holdings[a]))
+            share.append(holdings[donor].pop())
+            if not holdings[donor]:
+                del holdings[donor]
+        return share
+
+    def scale_in(self, address: str):
+        """A generator process: drain every partition off ``address``.
+
+        Partitions spread over the remaining workers (least-loaded
+        first, ties by address); once drained the worker is detached
+        and can be removed from the cluster.
+        """
+        survivors = sorted(a for a in self.views if a != address)
+        if not survivors:
+            raise RuntimeError("cannot scale in the last worker")
+        counts = {a: 0 for a in survivors}
+        for partition in range(self.partition_count):
+            owner = self.metadata.owner_of(partition)
+            if owner in counts:
+                counts[owner] += 1
+        drained = sorted(
+            p for p in range(self.partition_count)
+            if self.metadata.owner_of(p) == address
+        )
+        for partition in drained:
+            target = min(survivors, key=lambda a: (counts[a], a))
+            yield from self.migrate(partition, target)
+            counts[target] += 1
+        self.detach_worker(address)
+
+    # -- load-aware rebalancing --------------------------------------------
+
+    def start_rebalancer(self, tracer,
+                         policy: Optional[RebalancePolicy] = None) -> None:
+        """Start the policy loop reading per-partition op counters.
+
+        Workers with an attached ownership view record
+        ``elastic.partition_ops.<p>`` counters on the given obs tracer;
+        the loop samples deltas every ``policy.interval`` and migrates
+        a hot partition toward the coldest worker when the policy's
+        imbalance test fires.
+        """
+        if tracer is None:
+            raise ValueError("rebalancing needs a tracer for op counters")
+        self.policy = policy if policy is not None else RebalancePolicy()
+        self._tracer = tracer
+        self.rebalancing = True
+        self.env.process(self._rebalance_loop(), name="elastic-rebalance")
+
+    def stop_rebalancer(self) -> None:
+        self.rebalancing = False
+
+    def _rebalance_loop(self):
+        policy = self.policy
+        counters = self._tracer.counters
+        last = [0.0] * self.partition_count
+        while self.rebalancing:
+            yield policy.interval
+            deltas = []
+            for partition in range(self.partition_count):
+                total = counters.get(
+                    "elastic.partition_ops.%d" % partition, 0.0)
+                deltas.append(total - last[partition])
+                last[partition] = total
+            for _ in range(policy.max_moves_per_cycle):
+                move = self._plan_move(deltas)
+                if move is None:
+                    break
+                partition, target = move
+                yield from self.migrate(partition, target)
+                self.rebalance_moves.append(
+                    (self.env.now, partition, target))
+                deltas[partition] = 0.0
+
+    def _plan_move(self, deltas: List[float]
+                   ) -> Optional[Tuple[int, str]]:
+        """One load-aware move, or None when balanced (deterministic)."""
+        policy = self.policy
+        addresses = sorted(self.views)
+        if len(addresses) < 2:
+            return None
+        loads = {address: 0.0 for address in addresses}
+        for partition, delta in enumerate(deltas):
+            owner = self.metadata.owner_of(partition)
+            if owner in loads:
+                loads[owner] += delta
+        total = sum(loads.values())
+        if total < policy.min_ops:
+            return None
+        mean = total / len(addresses)
+        hot = max(addresses, key=lambda a: (loads[a], a))
+        cold = min(addresses, key=lambda a: (loads[a], a))
+        spread = loads[hot] - loads[cold]
+        if loads[hot] <= policy.hot_factor * mean or spread <= 0.0:
+            return None
+        candidates = [
+            (deltas[partition], partition)
+            for partition in range(self.partition_count)
+            if self.metadata.owner_of(partition) == hot
+            # Anti-ping-pong: only moves that leave the receiver no
+            # hotter than the donor (2*delta <= spread); a lone hot
+            # partition (delta == spread) would just swap roles forever.
+            and 0.0 < 2.0 * deltas[partition] <= spread
+        ]
+        if not candidates:
+            return None
+        _, partition = max(candidates)
+        return partition, cold
+
 
 class PartitionedClient:
-    """A metadata-aware client routing single batches by partition.
+    """A DPR-aware client routing single batches by partition (§5.3).
 
-    Used by migration tests and examples; the high-throughput
-    performance clients bypass partitioning (ownership is static in
-    those runs, as in the paper's benchmarks).
+    Runs a real :class:`~repro.core.session.Session` at batch
+    granularity; see the module docstring for the guarantees this
+    carries through migrations.  Used by migration tests and examples;
+    the high-throughput fleet clients
+    (:class:`repro.cluster.client.ClientMachine` with a ``router``)
+    keep their own windowed sessions.
     """
 
     def __init__(self, env: Environment, net: Network, address: str,
                  metadata: MetadataStore, coordinator: ElasticCoordinator,
-                 retry_delay: float = 2e-3):
+                 retry_delay: float = 2e-3,
+                 request_timeout: float = 50e-3):
         self.env = env
         self.net = net
         self.address = address
@@ -102,13 +358,29 @@ class PartitionedClient:
         self.metadata = metadata
         self.coordinator = coordinator
         self.retry_delay = retry_delay
+        #: Unanswered requests are retransmitted this often (the network
+        #: is at-least-once; the worker's dedup absorbs extra copies).
+        self.request_timeout = request_timeout
+        #: The DPR session: world-line, Vs, commit watermark.
+        self.session = Session(address)
         #: Locally cached partition -> owner mapping (§5.3: clients
         #: cache and only consult the store on changes).
         self._cached_owners: Dict[int, str] = {}
         self._next_batch = 0
-        self._next_seqno = 1
         self.metadata_refreshes = 0
         self.retries = 0
+        self.resends = 0
+        #: Inbox messages that did not match the awaited batch id
+        #: (stale duplicates under reorder/duplicate fault plans).
+        self.mismatched_replies = 0
+        self.rollbacks: List[RollbackError] = []
+        #: Cut carried by the last rolled_back reply (the frozen
+        #: recovery cut) — what tests check survived versions against.
+        self.last_rollback_cut: Optional[DprCut] = None
+        #: One entry per served batch: batch_id, seqnos, object served
+        #: by, executed version, partition — the ledger prefix-
+        #: recoverability tests audit.
+        self.history: List[Dict] = []
 
     def _owner(self, partition: int, refresh: bool):
         if refresh or partition not in self._cached_owners:
@@ -125,10 +397,17 @@ class PartitionedClient:
     def request(self, key, ops, write_count: int = 0):
         """A generator process: route, send, retry until served.
 
-        Returns the successful :class:`BatchReply`.
+        Returns the successful :class:`BatchReply`.  Raises
+        :class:`~repro.core.session.RollbackError` when a world-line
+        bump cut this session's operations — the error carries the
+        exact surviving prefix; call ``session.acknowledge_rollback()``
+        to resume issuing.
         """
         env = self.env
+        session = self.session
+        ops = tuple(ops)
         partition = self.coordinator.partitioner.partition_of(key)
+        header = None
         refresh = False
         while True:
             owner = yield from self._owner(partition, refresh)
@@ -139,27 +418,91 @@ class PartitionedClient:
                 yield self.retry_delay
                 refresh = True
                 continue
+            if header is None:
+                # Issue once per logical batch: the seqno span, the
+                # world-line, and Vs are fixed at issue time; bounced
+                # attempts (which provably did not execute) re-send the
+                # same span under a fresh batch id.
+                header = session.issue(owner, now=env.now, count=len(ops))
             self._next_batch += 1
             request = BatchRequest(
                 batch_id=self._next_batch,
                 session_id=self.address,
                 reply_to=self.address,
-                world_line=0,
-                min_version=0,
-                first_seqno=self._next_seqno,
+                world_line=header.world_line,
+                min_version=header.min_version,
+                first_seqno=header.seqno,
                 op_count=len(ops),
                 write_count=write_count,
-                ops=tuple(ops),
+                ops=ops,
+                deps=header.deps,
+                created_at=env.now,
                 partition=partition,
             )
-            self.net.send(self.address, owner, request, size_ops=len(ops))
-            message = yield self.endpoint.inbox.get()
-            reply: BatchReply = message.payload
+            reply = yield from self._send_and_await(owner, request)
             if reply.status == "not_owner":
                 # Stale cache: re-read the mapping and retry (§5.3).
                 self.retries += 1
                 refresh = True
                 yield self.retry_delay
                 continue
-            self._next_seqno += len(ops)
+            if reply.status == "retry":
+                # Worker mid-recovery; back off and re-send.
+                self.retries += 1
+                yield self.retry_delay
+                continue
+            if reply.status == "rolled_back":
+                cut = reply.cut if reply.cut is not None else DprCut()
+                self.last_rollback_cut = cut
+                error = session.observe_failure(reply.world_line, cut)
+                self.rollbacks.append(error)
+                raise error
+            session.complete(header.seqno, reply.version, now=env.now,
+                             object_id=reply.object_id)
+            if reply.cut is not None:
+                session.refresh_commit(reply.cut, now=env.now)
+            self.history.append({
+                "batch_id": request.batch_id,
+                "first_seqno": header.seqno,
+                "last_seqno": header.seqno + len(ops) - 1,
+                "object_id": reply.object_id,
+                "version": reply.version,
+                "partition": partition,
+            })
             return reply
+
+    def _send_and_await(self, owner: str, request: BatchRequest):
+        """Send one attempt; wait for *its* reply, retransmitting.
+
+        Only a reply matching ``request.batch_id`` counts — under
+        duplicate/reorder fault plans the inbox may hold stale replies
+        to earlier attempts, and taking "whatever arrives" would
+        misattribute them.  Mismatches are counted and dropped.
+        """
+        env = self.env
+        self.net.send(self.address, owner, request,
+                      size_ops=request.op_count)
+        state = {"done": False}
+        if self.request_timeout is not None:
+            env.process(self._retransmit(owner, request, state),
+                        name=f"pclient-retx:{self.address}")
+        try:
+            while True:
+                message = yield self.endpoint.inbox.get()
+                reply = message.payload
+                if (not isinstance(reply, BatchReply)
+                        or reply.batch_id != request.batch_id):
+                    self.mismatched_replies += 1
+                    continue
+                return reply
+        finally:
+            state["done"] = True
+
+    def _retransmit(self, owner: str, request: BatchRequest, state: Dict):
+        while not state["done"]:
+            yield self.request_timeout
+            if state["done"]:
+                return
+            self.resends += 1
+            self.net.send(self.address, owner, request,
+                          size_ops=request.op_count)

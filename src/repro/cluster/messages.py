@@ -64,16 +64,17 @@ class BatchReply:
 
     __slots__ = ("batch_id", "session_id", "object_id", "status",
                  "world_line", "version", "op_count", "cut", "served_at",
-                 "results")
+                 "results", "partition")
 
     def __init__(self, batch_id: int, session_id: str, object_id: str,
                  status: str, world_line: int, version: int = 0,
                  op_count: int = 0, cut: Optional[DprCut] = None,
-                 served_at: float = 0.0, results: Optional[Tuple] = None):
+                 served_at: float = 0.0, results: Optional[Tuple] = None,
+                 partition: Optional[int] = None):
         self.batch_id = batch_id
         self.session_id = session_id
         self.object_id = object_id
-        self.status = status  # "ok" | "rolled_back" | "retry"
+        self.status = status  # "ok" | "rolled_back" | "retry" | "not_owner"
         self.world_line = world_line
         self.version = version
         self.op_count = op_count
@@ -81,6 +82,9 @@ class BatchReply:
         self.served_at = served_at
         #: Functional mode: per-op results (None in modeled runs).
         self.results = results
+        #: Echoed on "not_owner" bounces (§5.3) so clients know which
+        #: cached partition mapping to invalidate.  None otherwise.
+        self.partition = partition
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"BatchReply(batch_id={self.batch_id}, "

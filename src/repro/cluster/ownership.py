@@ -12,18 +12,42 @@ version — the property DPR correctness needs.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, Optional
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+
+def _canonical_bytes(key: Hashable) -> bytes:
+    """A stable byte encoding of a key, independent of the interpreter.
+
+    The builtin ``hash()`` is salted by PYTHONHASHSEED for ``str`` and
+    ``bytes``, so partition placement would differ between interpreter
+    runs — dprlint DPR-D04 bans it on protocol paths.  Distinct types
+    get distinct prefixes so ``1`` and ``"1"`` cannot collide into the
+    same encoding by accident.
+    """
+    if isinstance(key, bytes):
+        return b"b:" + key
+    if isinstance(key, str):
+        return b"s:" + key.encode("utf-8")
+    if isinstance(key, int):
+        return b"i:%d" % key
+    return b"r:" + repr(key).encode("utf-8")
 
 
 @dataclass(frozen=True)
 class HashPartitioner:
-    """Hash keys into ``partition_count`` virtual partitions."""
+    """Hash keys into ``partition_count`` virtual partitions.
+
+    Uses a *stable* hash (CRC-32 over a canonical byte encoding), never
+    the builtin ``hash()``: placement is part of the protocol state and
+    must be byte-identical across PYTHONHASHSEED values.
+    """
 
     partition_count: int
 
     def partition_of(self, key: Hashable) -> int:
-        return hash(key) % self.partition_count
+        return zlib.crc32(_canonical_bytes(key)) % self.partition_count
 
 
 @dataclass(frozen=True)
@@ -78,6 +102,39 @@ class OwnershipView:
         )
         self._leases[partition] = lease
         return lease
+
+    def renew(self, partition: int) -> None:
+        """Extend a *currently valid* lease (renew-on-serve).
+
+        An owner actively serving a partition keeps its lease alive
+        without a metadata round trip.  Expired or renounced leases are
+        deliberately not resurrected here — regaining ownership goes
+        through :meth:`grant` (coordinator) or :meth:`refresh_against`
+        (metadata-validated renewal), never through the serve path.
+        """
+        lease = self._leases.get(partition)
+        if lease is not None and lease.valid_at(self._clock()):
+            lease.expires_at = self._clock() + self.lease_duration
+
+    def refresh_against(self, owner_of: Callable[[int], Optional[str]],
+                        ) -> Tuple[int, int]:
+        """Metadata-validated renewal sweep (§5.3).
+
+        For every locally known lease, re-grant it if the metadata
+        store still assigns the partition to this worker, else drop it.
+        ``owner_of`` is the metadata lookup — the caller pays the timed
+        store access *before* invoking this.  Returns
+        ``(renewed, revoked)`` counts.
+        """
+        renewed = revoked = 0
+        for partition in sorted(self._leases):
+            if owner_of(partition) == self.worker_id:
+                self.grant(partition)
+                renewed += 1
+            else:
+                self._leases.pop(partition)
+                revoked += 1
+        return renewed, revoked
 
     def renounce(self, partition: int) -> None:
         """Drop ownership locally (step 1 of a transfer)."""

@@ -38,6 +38,7 @@ from repro.cluster.messages import (
     SealReport,
 )
 from repro.cluster.modeled import ModeledStore
+from repro.cluster.ownership import StaleLeaseError
 from repro.cluster.stats import ClusterStats
 from repro.core.cuts import DprCut
 from repro.core.state_object import StateObject, WorldLineMismatch
@@ -109,6 +110,7 @@ class DFasterWorker:
         #: batches carrying a partition id are validated against it and
         #: mis-routed ones bounce with status "not_owner".
         self.ownership = None
+        self._lease_metadata = None
         self.not_owner_rejections = 0
         self.running = True
         #: Set while the process is down (crash/restart cycle).
@@ -183,6 +185,48 @@ class DFasterWorker:
         self._inflight.add(key)
         return True
 
+    # -- ownership (§5.3) ----------------------------------------------------
+
+    def attach_ownership(self, view, metadata=None) -> None:
+        """Install a lease-guarded ownership view on this worker.
+
+        When a metadata store is given, a renewal loop also starts:
+        every third of the lease duration the worker pays one timed
+        metadata access and re-grants (or drops) each lease the store
+        still (or no longer) assigns to it.  Only elastic deployments
+        call this, so non-elastic runs carry no renewal traffic.
+        """
+        self.ownership = view
+        self._lease_metadata = metadata
+        if metadata is not None:
+            self.env.process(self._lease_renewal_loop(view),
+                             name=f"lease-renew:{self.address}")
+
+    def _lease_renewal_loop(self, view):
+        period = view.lease_duration / 3.0
+        metadata = self._lease_metadata
+        while self.running and self.ownership is view:
+            yield period
+            if self.crashed or self.ownership is not view:
+                continue
+            yield metadata.access()
+            view.refresh_against(metadata.owner_of)
+
+    def request_checkpoint(self) -> bool:
+        """Seal a version out of band (transfer step 2, §5.3).
+
+        The elastic coordinator calls this when a migration is waiting
+        on an idle old owner that would otherwise never reach a
+        checkpoint boundary.  Returns False when the worker cannot
+        comply (down, stopped, or a checkpoint already in flight —
+        which itself provides the boundary the caller wants).
+        """
+        if self.crashed or not self.running or self._machine_busy:
+            return False
+        self.env.process(self._run_checkpoint(),
+                         name=f"forced-ckpt:{self.address}")
+        return True
+
     # -- serving -------------------------------------------------------------
 
     def _slowdown(self) -> float:
@@ -232,32 +276,50 @@ class DFasterWorker:
                                          self.checkpoints_enabled)
 
     def _execute(self, request: BatchRequest) -> BatchReply:
-        """Run the DPR-gated execute, memoize and return the reply."""
+        """Run the DPR-gated execute, memoize and return the reply.
+
+        "not_owner" bounces are deliberately NOT memoized: a client that
+        regains ownership information may re-send the same logical batch
+        under the same id once the partition transfers back, and a
+        cached bounce would answer it forever.  Bounces are also cheap
+        to recompute, so duplicate suppression loses nothing.
+        """
         reply = self._execute_uncached(request)
         key = (request.session_id, request.batch_id)
         self._inflight.discard(key)
-        self._replies[key] = (request.reply_to, reply)
-        while len(self._replies) > REPLY_CACHE:
-            self._replies.popitem(last=False)
+        if reply.status != "not_owner":
+            self._replies[key] = (request.reply_to, reply)
+            while len(self._replies) > REPLY_CACHE:
+                self._replies.popitem(last=False)
         return reply
 
     def _execute_uncached(self, request: BatchRequest) -> BatchReply:
         """Run the DPR-gated execute and build the reply."""
-        if (self.ownership is not None
-                and request.partition is not None
-                and not self.ownership.owns(request.partition)):
-            # Ownership validation against the local lease view (§5.3):
-            # the client must re-read the mapping and retry.
-            self.not_owner_rejections += 1
-            return BatchReply(
-                batch_id=request.batch_id,
-                session_id=request.session_id,
-                object_id=self.engine.object_id,
-                status="not_owner",
-                world_line=self.engine.world_line.current,
-                op_count=request.op_count,
-                served_at=self.env.now,
-            )
+        if self.ownership is not None and request.partition is not None:
+            try:
+                # Ownership validation against the local lease view
+                # (§5.3): a stale lease surfaces as a bounced batch,
+                # never as a worker crash.
+                self.ownership.validate(request.partition)
+            except StaleLeaseError:
+                self.not_owner_rejections += 1
+                return BatchReply(
+                    batch_id=request.batch_id,
+                    session_id=request.session_id,
+                    object_id=self.engine.object_id,
+                    status="not_owner",
+                    world_line=self.engine.world_line.current,
+                    op_count=request.op_count,
+                    served_at=self.env.now,
+                    partition=request.partition,
+                )
+            # Renew-on-serve: actively served partitions keep their
+            # lease alive without metadata traffic.
+            self.ownership.renew(request.partition)
+            tracer = self.env.tracer
+            if tracer is not None:
+                tracer.counter("elastic.partition_ops.%d" % request.partition,
+                               request.op_count)
         min_version = request.min_version if self.dpr_enabled else 0
         deps = request.deps if self.dpr_enabled else ()
         world_line = request.world_line if self.dpr_enabled else None

@@ -55,7 +55,13 @@ class RollbackError(RuntimeError):
 
 @dataclass
 class OpRecord:
-    """One SessionOrder entry."""
+    """One SessionOrder entry.
+
+    ``op_count > 1`` makes the record a contiguous *span* of seqnos
+    (a batch issued as one unit, as libDPR itself works at batch
+    granularity): all ``op_count`` operations execute in one version
+    and commit or roll back together.
+    """
 
     seqno: int
     object_id: str
@@ -64,10 +70,16 @@ class OpRecord:
     issued_at: float = 0.0
     completed_at: Optional[float] = None
     committed_at: Optional[float] = None
+    #: Number of consecutive seqnos this record spans (batch issue).
+    op_count: int = 1
 
     @property
     def pending(self) -> bool:
         return self.version is None
+
+    @property
+    def last_seqno(self) -> int:
+        return self.seqno + self.op_count - 1
 
 
 @dataclass(frozen=True)
@@ -111,8 +123,15 @@ class Session:
 
     # -- issuing and completing operations ------------------------------
 
-    def issue(self, object_id: str, now: float = 0.0) -> RequestHeader:
-        """Start an operation; returns the header to send with it."""
+    def issue(self, object_id: str, now: float = 0.0,
+              count: int = 1) -> RequestHeader:
+        """Start an operation; returns the header to send with it.
+
+        ``count > 1`` issues a contiguous span of seqnos as one batch
+        record (seqnos ``[seqno, seqno+count-1]``); the header carries
+        the first seqno and the whole span completes — or is lost —
+        as a unit.
+        """
         if self.status is SessionStatus.BROKEN:
             raise RollbackError(
                 self.session_id, self.committed_seqno,
@@ -123,10 +142,12 @@ class Session:
                 f"session {self.session_id} is strict: complete the "
                 "in-flight operation before issuing another"
             )
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
         seqno = self._next_seqno
-        self._next_seqno += 1
+        self._next_seqno += count
         self._ops[seqno] = OpRecord(seqno=seqno, object_id=object_id,
-                                    issued_at=now)
+                                    issued_at=now, op_count=count)
         self._order.append(seqno)
         deps = tuple(Token(obj, ver) for obj, ver in self._recent.items())
         self._recent.clear()
@@ -138,13 +159,23 @@ class Session:
             deps=deps,
         )
 
-    def complete(self, seqno: int, version: int, now: float = 0.0) -> None:
-        """Record that operation ``seqno`` executed in ``version``."""
+    def complete(self, seqno: int, version: int, now: float = 0.0,
+                 object_id: Optional[str] = None) -> None:
+        """Record that operation ``seqno`` executed in ``version``.
+
+        ``object_id``, when given, rebinds the record to the shard that
+        *actually* served it: under live rebalancing (§5.3) a batch can
+        be issued against one owner and — after an ownership transfer —
+        execute on another, and commit tracking must test the executed
+        version against the cut entry of the executing object.
+        """
         record = self._ops.get(seqno)
         if record is None:
             return  # completion for an op lost to a rollback: ignore
         if not record.pending:
             raise ValueError(f"op {seqno} already completed")
+        if object_id is not None and object_id != record.object_id:
+            record.object_id = object_id
         record.version = version
         record.completed_at = now
         if version > self.version_vector:
@@ -187,7 +218,9 @@ class Session:
                 holes.append(record.seqno)
                 continue
             if record.version <= cut.version_of(record.object_id):
-                watermark = record.seqno
+                # A span record commits whole: the watermark advances to
+                # its last seqno.
+                watermark = record.last_seqno
                 if record.committed_at is None:
                     record.committed_at = now
             else:
@@ -215,12 +248,16 @@ class Session:
         """
         self.world_line.advance_to(new_world_line)
         survived = self.refresh_commit(cut)
-        lost = []
-        for record in self.ops_in_order():
-            if record.seqno > survived or record.seqno in self._committed_exceptions:
-                lost.append(record.seqno)
-        for seqno in lost:
-            del self._ops[seqno]
+        lost_records = [
+            record for record in self.ops_in_order()
+            if record.seqno > survived
+            or record.seqno in self._committed_exceptions
+        ]
+        lost: List[int] = []
+        for record in lost_records:
+            # Span records lose every seqno they cover.
+            lost.extend(range(record.seqno, record.last_seqno + 1))
+            del self._ops[record.seqno]
         self.lost_ops.extend(lost)
         self._recent = {
             obj: min(ver, cut.version_of(obj))

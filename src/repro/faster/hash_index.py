@@ -10,9 +10,33 @@ versions of a key remain reachable by walking the chain.
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Dict, Iterator
 
 from repro.faster.record import NULL_ADDRESS
+
+
+def _stable_hash(key: Any) -> int:
+    """A PYTHONHASHSEED-independent key hash (dprlint DPR-D04).
+
+    Bucket placement feeds recovery-relevant structure (chain order,
+    truncation points), so it must be identical across interpreter
+    runs; the builtin ``hash()`` is salted for ``str``/``bytes``.
+    Type prefixes keep ``1``, ``"1"`` and ``b"1"`` in distinct buckets,
+    and tuples fold element-wise so composite keys work too.
+    """
+    if isinstance(key, bytes):
+        return zlib.crc32(b"b:" + key)
+    if isinstance(key, str):
+        return zlib.crc32(b"s:" + key.encode("utf-8"))
+    if isinstance(key, int):
+        return zlib.crc32(b"i:%d" % key)
+    if isinstance(key, tuple):
+        digest = zlib.crc32(b"t:")
+        for element in key:
+            digest = zlib.crc32(b"%d," % _stable_hash(element), digest)
+        return digest
+    return zlib.crc32(b"r:" + repr(key).encode("utf-8"))
 
 
 class HashIndex:
@@ -29,7 +53,7 @@ class HashIndex:
         return self._bucket_count
 
     def bucket_of(self, key: Any) -> int:
-        return hash(key) % self._bucket_count
+        return _stable_hash(key) % self._bucket_count
 
     def head_address(self, key: Any) -> int:
         """Address of the newest record in ``key``'s bucket chain."""

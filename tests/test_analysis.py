@@ -133,7 +133,7 @@ class TestFramework:
 
     def test_rule_catalog_is_complete(self):
         expected = {
-            "DPR-D01", "DPR-D02", "DPR-D03",
+            "DPR-D01", "DPR-D02", "DPR-D03", "DPR-D04",
             "DPR-P01", "DPR-P02", "DPR-P03", "DPR-P04",
             "DPR-H01", "DPR-H02", "DPR-H03", "DPR-H04",
             "DPR-O01",
@@ -280,6 +280,37 @@ class TestDeterminismRules:
             """,
         })
         assert "DPR-D03" not in rules_found(findings)
+
+    def test_d04_flags_builtin_hash_in_protocol_code(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/cluster/place.py": """\
+                def partition_of(key, n):
+                    return hash(key) % n
+            """,
+        })
+        d04 = [f for f in findings if f.rule == "DPR-D04"]
+        assert len(d04) == 1
+        assert "place.py" in d04[0].path
+
+    def test_d04_stable_digest_is_clean(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/cluster/place.py": """\
+                import zlib
+
+                def partition_of(key, n):
+                    return zlib.crc32(key.encode("utf-8")) % n
+            """,
+        })
+        assert "DPR-D04" not in rules_found(findings)
+
+    def test_d04_does_not_apply_outside_protocol_packages(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/workloads/spread.py": """\
+                def spread(key, n):
+                    return hash(key) % n
+            """,
+        })
+        assert "DPR-D04" not in rules_found(findings)
 
 
 PROTOCOL_FIXTURE = {

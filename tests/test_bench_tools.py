@@ -82,7 +82,8 @@ class TestHarness:
 
 class TestFiguresModule:
     def test_registry_covers_all_figures(self):
-        assert set(FIGURES) == {f"fig{n}" for n in range(10, 20)}
+        expected = {f"fig{n}" for n in range(10, 20)} | {"elastic"}
+        assert set(FIGURES) == expected
 
     def test_unknown_figure_rejected(self):
         with pytest.raises(KeyError):

@@ -73,6 +73,39 @@ CHAOS_SCENARIO = textwrap.dedent(
 )
 
 
+ELASTIC_SCENARIO = textwrap.dedent(
+    """
+    import json
+
+    from repro.cluster import DFasterCluster, DFasterConfig
+
+    cluster = DFasterCluster(DFasterConfig(
+        n_workers=2, vcpus=2, n_client_machines=1, client_threads=2,
+        batch_size=32, checkpoint_interval=0.05, seed=99))
+    elastic = cluster.enable_elasticity(partition_count=16,
+                                        lease_duration=0.2)
+
+    def grow():
+        yield 0.1
+        worker = cluster.add_worker()
+        yield from elastic.scale_out(worker)
+
+    cluster.env.process(grow(), name="grow")
+    stats = cluster.run(0.3, warmup=0.05)
+    summary = {
+        "committed": sum(c.total_committed() for c in cluster.clients),
+        "bounces": sum(c.not_owner_bounces for c in cluster.clients),
+        "migrations": elastic.migrations_completed,
+        "owners": {p: elastic.owner_of(p) for p in range(16)},
+        "partition_of": [elastic.partitioner.partition_of("key-%d" % i)
+                         for i in range(32)],
+        "completed": stats.completed.series(0.05),
+    }
+    print(json.dumps(summary, sort_keys=True))
+    """
+)
+
+
 def run_with_hashseed(seed, scenario=SCENARIO):
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = str(seed)
@@ -108,3 +141,16 @@ def test_chaos_run_identical_across_hash_seeds():
     assert summary["injected"]["dropped"] > 0
     assert summary["injected"]["duplicated"] > 0
     assert summary["injected"]["metadata_outages"] > 0
+
+
+def test_elastic_run_identical_across_hash_seeds():
+    """Partitioned routing is protocol state: placement (stable CRC-32,
+    not the salted builtin hash), mid-run scale-out, and every
+    downstream not_owner bounce must be byte-identical across
+    interpreter hash seeds."""
+    first = run_with_hashseed(3, ELASTIC_SCENARIO)
+    second = run_with_hashseed(4242, ELASTIC_SCENARIO)
+    assert first == second
+    summary = json.loads(first)
+    assert summary["committed"] > 0
+    assert summary["migrations"] > 0

@@ -55,6 +55,43 @@ class TestIssueComplete:
         assert session.pending_seqnos() == [1]
 
 
+class TestSpanIssue:
+    """Batch issue: one record spanning ``count`` consecutive seqnos."""
+
+    def test_span_allocates_contiguous_seqnos(self, session):
+        header = session.issue("A", count=4)
+        assert header.seqno == 1
+        assert session.issue("B").seqno == 5
+        assert session.op(1).op_count == 4
+        assert session.op(1).last_seqno == 4
+
+    def test_count_must_be_positive(self, session):
+        with pytest.raises(ValueError):
+            session.issue("A", count=0)
+
+    def test_span_commits_whole(self, session):
+        header = session.issue("A", count=3)
+        session.complete(header.seqno, version=2)
+        session.refresh_commit(DprCut.of(Token("A", 2)))
+        assert session.committed_seqno == 3
+
+    def test_span_lost_whole_on_failure(self, session):
+        session.issue("A", count=3)
+        error = session.observe_failure(1, DprCut())
+        assert error.lost == (1, 2, 3)
+
+    def test_complete_rebinds_executing_object(self, session):
+        # §5.3 live rebalancing: issued against A, executed on B after
+        # an ownership transfer — commit tracking must follow B's cut.
+        header = session.issue("A", count=2)
+        session.complete(header.seqno, version=3, object_id="B")
+        assert session.op(header.seqno).object_id == "B"
+        session.refresh_commit(DprCut.of(Token("A", 9)))
+        assert session.committed_seqno == 0  # A's entry is irrelevant
+        session.refresh_commit(DprCut.of(Token("B", 3)))
+        assert session.committed_seqno == 2
+
+
 class TestStrictMode:
     def test_strict_blocks_second_inflight(self):
         session = Session("s", strict=True)
