@@ -10,6 +10,8 @@ import json
 import sys
 from typing import List, Optional
 
+from pathlib import Path
+
 from repro.analysis.framework import (
     all_rules,
     load_baseline,
@@ -29,7 +31,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", dest="fmt", choices=("text", "json"), default="text",
+        "--format", dest="fmt", choices=("text", "json", "sarif"),
+        default="text",
         help="output format (default: text)",
     )
     parser.add_argument(
@@ -50,9 +53,53 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--list-rules", action="store_true",
-        help="list the registered rules and exit",
+        help="list the registered rules with severity tiers and exit",
+    )
+    parser.add_argument(
+        "--explain", default=None, metavar="RULE",
+        help="print the docs/ANALYSIS.md section for RULE and exit",
     )
     return parser
+
+
+def _analysis_doc_path() -> Optional[Path]:
+    """Locate docs/ANALYSIS.md relative to this file or the cwd."""
+    here = Path(__file__).resolve()
+    for base in [p for p in here.parents] + [Path.cwd()]:
+        candidate = base / "docs" / "ANALYSIS.md"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def _explain(rule_id: str) -> int:
+    rules = {rule.id: rule for rule in all_rules()}
+    rule = rules.get(rule_id)
+    if rule is None:
+        print(f"unknown rule id: {rule_id}", file=sys.stderr)
+        return 2
+    doc = _analysis_doc_path()
+    section: Optional[str] = None
+    if doc is not None:
+        lines = doc.read_text(encoding="utf-8").splitlines()
+        collected: List[str] = []
+        inside = False
+        for line in lines:
+            if line.startswith("### "):
+                if inside:
+                    break
+                inside = line[4:].strip().startswith(rule_id)
+            if inside:
+                collected.append(line)
+        if collected:
+            section = "\n".join(collected).strip()
+    if section is None:
+        # Fall back to the rule's own docstring when the docs section
+        # is missing (e.g. running from an installed package).
+        body = (rule.__class__.__doc__ or rule.title).strip()
+        section = f"### {rule.id}: {rule.title}\n\n{body}"
+    print(section)
+    return 0
 
 
 def _split_rules(spec: Optional[str]) -> Optional[List[str]]:
@@ -68,8 +115,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         for rule in all_rules():
             scope = ", ".join(rule.scope) if rule.scope else "everywhere"
-            print(f"{rule.id}  {rule.title}  [scope: {scope}]")
+            print(f"{rule.id}  [{rule.severity}]  {rule.title}  "
+                  f"[scope: {scope}]")
         return 0
+
+    if args.explain:
+        return _explain(args.explain)
 
     known = {rule.id for rule in all_rules()}
     for spec in (_split_rules(args.select) or []) + \
@@ -106,6 +157,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.fmt == "json":
         print(json.dumps([f.to_dict() for f in findings], indent=2))
+    elif args.fmt == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        print(render_sarif(findings))
     else:
         for finding in findings:
             print(finding.render())

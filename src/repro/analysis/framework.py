@@ -71,21 +71,38 @@ class Finding:
     #: Stripped source line, used for baseline fingerprints (stable
     #: across unrelated edits that shift line numbers).
     snippet: str = ""
+    #: Interprocedural call chain (DPR-A02): caller -> ... -> source.
+    trace: Tuple[str, ...] = ()
+    #: Supporting locations as (path, line, label) — e.g. DPR-A01's
+    #: snapshot line and preemption point.  Not part of the fingerprint.
+    related: Tuple[Tuple[str, int, str], ...] = ()
 
     def fingerprint(self) -> str:
         return f"{self.rule}::{self.path}::{self.snippet}"
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "message": self.message,
         }
+        if self.trace:
+            data["trace"] = list(self.trace)
+        if self.related:
+            data["related"] = [
+                {"path": path, "line": line, "label": label}
+                for path, line, label in self.related
+            ]
+        return data
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        head = (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.message}")
+        notes = [f"    note: {path}:{line}: {label}"
+                 for path, line, label in self.related]
+        return "\n".join([head] + notes)
 
 
 class ModuleInfo:
@@ -221,6 +238,11 @@ class Rule:
     title: str = ""
     #: Module-name prefixes the rule applies to; empty = everywhere.
     scope: Tuple[str, ...] = ()
+    #: Severity tier: "error" (protocol/determinism correctness) or
+    #: "warning" (hygiene).  Maps onto the SARIF level of the same name
+    #: and is shown by ``--list-rules``; any finding still fails the
+    #: run regardless of tier.
+    severity: str = "error"
 
     def applies_to(self, module: str) -> bool:
         return module_in_scope(module, self.scope)
@@ -260,6 +282,7 @@ def all_rules() -> List[Rule]:
     # Imported here (not at module top) so framework <-> rules stay
     # cycle-free; registration happens as a side effect of the import.
     from repro.analysis import (  # noqa: F401
+        rules_concurrency,
         rules_determinism,
         rules_hygiene,
         rules_observability,

@@ -50,6 +50,7 @@ class MutableDefaultArgRule(ModuleRule):
 
     id = "DPR-H01"
     title = "mutable default argument"
+    severity = "warning"
 
     def check_module(self, module: ModuleInfo,
                      project: Project) -> Iterator[Finding]:
@@ -76,6 +77,7 @@ class OverbroadExceptRule(ModuleRule):
 
     id = "DPR-H02"
     title = "bare or overbroad except"
+    severity = "warning"
 
     def check_module(self, module: ModuleInfo,
                      project: Project) -> Iterator[Finding]:
@@ -134,6 +136,7 @@ class ShadowedBuiltinRule(ModuleRule):
 
     id = "DPR-H03"
     title = "shadowed builtin"
+    severity = "warning"
 
     def check_module(self, module: ModuleInfo,
                      project: Project) -> Iterator[Finding]:
@@ -285,6 +288,7 @@ class DocstringDriftRule(ModuleRule):
 
     id = "DPR-H04"
     title = "missing or stale docstring"
+    severity = "warning"
 
     def check_module(self, module: ModuleInfo,
                      project: Project) -> Iterator[Finding]:

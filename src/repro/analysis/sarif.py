@@ -1,0 +1,112 @@
+"""SARIF 2.1.0 output for dprlint findings.
+
+GitHub code scanning ingests SARIF and turns each result into an inline
+PR annotation, so the CI job uploads ``dprlint.sarif`` as an artifact.
+The emitter maps dprlint's model onto SARIF directly: rules become
+``tool.driver.rules`` entries (severity -> ``defaultConfiguration.
+level``), findings become ``results`` with one physical location,
+DPR-A01's snapshot/yield lines become ``relatedLocations``, and
+DPR-A02's call chain rides in ``properties.trace``.
+
+The emitter is deliberately dependency-free and deterministic: the
+document is built from already-sorted findings and serialized with
+sorted keys, so two runs over the same tree are byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.framework import Finding, Rule, all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: dprlint severities -> SARIF levels.  Anything unknown degrades to
+#: "note" rather than failing the upload.
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, object]:
+    doc = (rule.__class__.__doc__ or rule.title).strip()
+    short = doc.splitlines()[0].strip()
+    return {
+        "id": rule.id,
+        "name": rule.__class__.__name__,
+        "shortDescription": {"text": short},
+        "fullDescription": {"text": doc},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "note"),
+        },
+    }
+
+
+def _location(path: str, line: int, message: str = "") -> Dict[str, object]:
+    location: Dict[str, object] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": {"startLine": max(line, 1)},
+        },
+    }
+    if message:
+        location["message"] = {"text": message}
+    return location
+
+
+def _result(finding: Finding, levels: Dict[str, str]) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": levels.get(finding.rule, "note"),
+        "message": {"text": finding.message},
+        "locations": [_location(finding.path, finding.line)],
+    }
+    if finding.col:
+        region = result["locations"][0]["physicalLocation"]["region"]
+        region["startColumn"] = finding.col + 1  # SARIF columns are 1-based
+    if finding.related:
+        result["relatedLocations"] = [
+            _location(path, line, label)
+            for path, line, label in finding.related
+        ]
+    properties: Dict[str, object] = {}
+    if finding.trace:
+        properties["trace"] = list(finding.trace)
+    if finding.snippet:
+        properties["snippet"] = finding.snippet
+    if properties:
+        result["properties"] = properties
+    return result
+
+
+def sarif_document(findings: Sequence[Finding]) -> Dict[str, object]:
+    """The findings as a SARIF 2.1.0 document (a plain dict)."""
+    rules = all_rules()
+    levels = {rule.id: _LEVELS.get(rule.severity, "note")
+              for rule in rules}
+    descriptors: List[Dict[str, object]] = [
+        _rule_descriptor(rule) for rule in rules
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "dprlint",
+                        "informationUri":
+                            "docs/ANALYSIS.md",
+                        "rules": descriptors,
+                    },
+                },
+                "results": [_result(f, levels) for f in findings],
+            },
+        ],
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """The findings serialized as deterministic SARIF JSON."""
+    return json.dumps(sarif_document(findings), indent=2, sort_keys=True)

@@ -335,6 +335,10 @@ class ClientMachine:
                     # clients cache the mapping and only re-read it on
                     # bounces or misses).
                     yield router.metadata.access()
+                    if not self.running:
+                        # stop() landed during the metadata read; do
+                        # not issue one more batch after shutdown.
+                        break
                     target = router.metadata.owner_of(partition)
                     if target is None:
                         # Mid-transfer, owner-less window: retry.

@@ -190,12 +190,20 @@ class _DRedisProxy:
 
     def _lease_renewal_loop(self, view):
         period = view.lease_duration / 3.0
-        metadata = self._lease_metadata
         while self.running and self.ownership is view:
             yield period
             if self.crashed or self.ownership is not view:
                 continue
+            metadata = self._lease_metadata
             yield metadata.access()
+            # Re-validate after the timed access: the proxy may have
+            # crashed, stopped, or been re-homed while the metadata
+            # read was in flight — renewing then would refresh a lease
+            # this proxy no longer holds.
+            if (self.crashed or not self.running
+                    or self.ownership is not view
+                    or metadata is not self._lease_metadata):
+                continue
             view.refresh_against(metadata.owner_of)
 
     # -- request path -----------------------------------------------------
@@ -349,19 +357,33 @@ class _DRedisProxy:
                 self.engine.fast_forward(self.cached_max_version)
             self._flush_autosealed()
             descriptor = self.engine.seal_version()
+            version = descriptor.token.version
             if env.tracer is not None:
-                env.tracer.begin_span(
-                    "worker.persist_lag",
-                    (self.address, descriptor.token.version), env.now)
+                env.tracer.begin_span("worker.persist_lag",
+                                      (self.address, version), env.now)
             self.cluster.net.send(self.address, "dpr-finder",
                                   SealReport(descriptor), size_ops=1)
             # Exclusive latch: BGSAVE through the Redis command queue.
             saved = env.event(name=f"bgsave:{self.address}")
             self.redis.queue.put(("BGSAVE", lambda _r: saved.succeed()))
             yield saved
+            if not self.engine.is_sealed(version):
+                # A rollback landed while the BGSAVE latch was queued:
+                # this version no longer exists on the new world-line,
+                # so persisting (and reporting) it would resurrect
+                # rolled-back state.
+                if env.tracer is not None:
+                    env.tracer.cancel_span("worker.persist_lag",
+                                           (self.address, version))
+                return
             # Background RDB write, then LASTSAVE would advance.
-            version = descriptor.token.version
             yield self.device.write(self.engine.checkpoint_bytes(version))
+            if not self.engine.is_sealed(version):
+                # Rolled back mid-write: drop the stale checkpoint.
+                if env.tracer is not None:
+                    env.tracer.cancel_span("worker.persist_lag",
+                                           (self.address, version))
+                return
             self.engine.mark_persisted(version)
             if env.tracer is not None:
                 env.tracer.end_span("worker.persist_lag",

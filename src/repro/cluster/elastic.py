@@ -156,14 +156,26 @@ class ElasticCoordinator:
             if view is not None:
                 view.renounce(partition)
             yield self.metadata.access()
+            if self.metadata.owner_of(partition) != old_owner:
+                # A concurrent migration or recovery re-homed the
+                # partition while the metadata access was in flight;
+                # abandon this transfer rather than null out someone
+                # else's ownership row.
+                return
             self.metadata.set_owner(partition, None)
             # Step 2: defer to the old owner's checkpoint boundary so
             # ownership is static within versions.
             yield from self._await_checkpoint_boundary(old_owner)
         # Step 3: install the new owner.
         yield self.metadata.access()
+        target_view = self.views.get(new_owner)
+        if target_view is None:
+            # The target detached (scale-in) while the transfer was in
+            # flight: leave the partition unowned; the next rebalance
+            # pass re-homes it.
+            return
         self.metadata.set_owner(partition, new_owner)
-        self.views[new_owner].grant(partition)
+        target_view.grant(partition)
         self.migrations_completed += 1
 
     def _await_checkpoint_boundary(self, old_owner: str):
@@ -284,6 +296,10 @@ class ElasticCoordinator:
         last = [0.0] * self.partition_count
         while self.rebalancing:
             yield policy.interval
+            if not self.rebalancing:
+                # stop_rebalancing() flipped the flag mid-interval:
+                # planning one more move now would migrate after stop.
+                break
             deltas = []
             for partition in range(self.partition_count):
                 total = counters.get(

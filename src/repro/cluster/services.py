@@ -212,6 +212,10 @@ class ClusterManager:
         self.retransmissions = 0
         self._last_heartbeat: Dict[str, float] = {}
         self._handling_crash: set = set()
+        #: The most recent recovery plan; _handle_crash re-reads this
+        #: after its restart wait in case a nested failure (§7.4)
+        #: superseded the plan it started with.
+        self._latest_plan = None
         #: (worker_id, detected_at, restarted_at) per detected crash.
         self.detected_crashes: List[Dict] = []
         env.process(self._receive_loop(), name=f"manager-rx:{address}")
@@ -240,6 +244,7 @@ class ClusterManager:
         # before telling anyone (so the guarantee can never renege).
         yield self.metadata.access()
         plan = self.controller.plan_recovery(self.workers)
+        self._latest_plan = plan
         self._pending[plan.world_line] = set(self.workers)
         self.recoveries.append({
             "world_line": plan.world_line,
@@ -314,6 +319,7 @@ class ClusterManager:
         # Freeze the guarantee and assign the new world-line first.
         yield self.metadata.access()
         plan = self.controller.plan_recovery(self.workers)
+        self._latest_plan = plan
         self._pending[plan.world_line] = set(self.workers)
         self.recoveries.append({
             "world_line": plan.world_line,
@@ -330,6 +336,11 @@ class ClusterManager:
                     name=f"manager-retx:{plan.world_line}")
         # Bounded-time restart of the failed worker from durable state.
         yield self.restart_delay
+        if self.controller.world_line != plan.world_line:
+            # A nested failure superseded this recovery while the
+            # restart was in flight (§7.4): restart the worker onto
+            # the newest world-line and cut, not the stale plan's.
+            plan = self._latest_plan
         worker = self.worker_registry.get(worker_id)
         if worker is not None:
             resume = self.controller.finder.table.max_version() + 1

@@ -204,12 +204,20 @@ class DFasterWorker:
 
     def _lease_renewal_loop(self, view):
         period = view.lease_duration / 3.0
-        metadata = self._lease_metadata
         while self.running and self.ownership is view:
             yield period
             if self.crashed or self.ownership is not view:
                 continue
+            metadata = self._lease_metadata
             yield metadata.access()
+            # Re-validate after the timed access: the worker may have
+            # crashed, stopped, or been re-homed while the metadata
+            # read was in flight — renewing then would refresh a lease
+            # this worker no longer holds.
+            if (self.crashed or not self.running
+                    or self.ownership is not view
+                    or metadata is not self._lease_metadata):
+                continue
             view.refresh_against(metadata.owner_of)
 
     def request_checkpoint(self) -> bool:
@@ -389,6 +397,8 @@ class DFasterWorker:
         env = self.env
         while self.running:
             yield self.checkpoint_interval
+            if not self.running:
+                break
             if self.crashed:
                 continue
             if self._machine_busy:
@@ -519,7 +529,7 @@ class DFasterWorker:
         env = self.env
         while self.running:
             yield self.heartbeat_interval
-            if not self.crashed:
+            if self.running and not self.crashed:
                 self.net.send(self.address, self.manager_address,
                               Heartbeat(self.address), size_ops=1)
 

@@ -133,12 +133,20 @@ class TestFramework:
 
     def test_rule_catalog_is_complete(self):
         expected = {
+            "DPR-A01", "DPR-A02",
             "DPR-D01", "DPR-D02", "DPR-D03", "DPR-D04",
             "DPR-P01", "DPR-P02", "DPR-P03", "DPR-P04",
             "DPR-H01", "DPR-H02", "DPR-H03", "DPR-H04",
             "DPR-O01",
         }
         assert {rule.id for rule in all_rules()} == expected
+
+    def test_severity_tiers(self):
+        severities = {rule.id: rule.severity for rule in all_rules()}
+        assert severities["DPR-A01"] == "error"
+        assert severities["DPR-D01"] == "error"
+        for hygiene in ("DPR-H01", "DPR-H02", "DPR-H03", "DPR-H04"):
+            assert severities[hygiene] == "warning"
 
 
 class TestDeterminismRules:
@@ -781,3 +789,466 @@ class TestCli:
         assert result.returncode == 1
         assert "DPR-P01" in result.stdout
         assert "InjectedProbe" in result.stdout
+
+
+class TestYieldAtomicityRule:
+    """DPR-A01: yield-point atomicity (stale snapshots, RMW spans,
+    while-guard check-then-act)."""
+
+    def test_stale_guard_snapshot_across_yield(self, tmp_path):
+        """The exact PR-5 lease bug: metadata hoisted across yields."""
+        findings = lint_fixture(tmp_path, {
+            "repro/cluster/leases.py": '''\
+                """Fixture."""
+
+
+                class Worker:
+                    """Fixture."""
+
+                    def _lease_renewal_loop(self, view):
+                        """Metadata snapshot trusted after the yield."""
+                        period = view.lease_duration / 3.0
+                        metadata = self.lease_metadata
+                        while self.running:
+                            yield period
+                            view.refresh_against(metadata.owner_of)
+            ''',
+        })
+        stale = [f for f in findings if f.rule == "DPR-A01"
+                 and "snapshots self.lease_metadata" in f.message]
+        assert stale, findings
+        # The finding carries both the snapshot line and the yield.
+        labels = {label for _, _, label in stale[0].related}
+        assert any("snapshotted here" in label for label in labels)
+        assert any("preemption point" in label for label in labels)
+
+    def test_read_modify_write_spanning_yield(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/cluster/rmw.py": '''\
+                """Fixture."""
+
+
+                class Worker:
+                    """Fixture."""
+
+                    def bump_seals(self):
+                        """Lost update: RMW spans a timed device write."""
+                        count = self.seal_count
+                        yield self.device.write(1)
+                        self.seal_count = count + 1
+            ''',
+        })
+        assert any(f.rule == "DPR-A01"
+                   and "read-modify-write" in f.message
+                   for f in findings), findings
+
+    def test_while_guard_check_then_act(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/cluster/beat.py": '''\
+                """Fixture."""
+
+
+                class Worker:
+                    """Fixture."""
+
+                    def heartbeat(self):
+                        """Acts after the yield without re-checking."""
+                        while self.running:
+                            yield self.interval
+                            self.net.send(self.address, "manager")
+            ''',
+        })
+        assert any(f.rule == "DPR-A01"
+                   and "loop guarded by self.running" in f.message
+                   for f in findings), findings
+
+    def test_revalidated_patterns_stay_clean(self, tmp_path):
+        """The sanctioned re-validation shapes must not be flagged:
+        a fresh-guard comparison, a guard-call in an if-test, and a
+        guard re-check between the yield and the effect."""
+        findings = lint_fixture(tmp_path, {
+            "repro/cluster/ok.py": '''\
+                """Fixture."""
+
+
+                class Worker:
+                    """Fixture."""
+
+                    def renewal(self, view):
+                        """Re-tests the loop guard and compares the
+                        snapshot against a fresh guard read."""
+                        while self.running:
+                            yield 1.0
+                            metadata = self.lease_metadata
+                            yield metadata.access()
+                            if (not self.running
+                                    or metadata is not self.lease_metadata):
+                                continue
+                            view.refresh_against(metadata.owner_of)
+
+                    def flusher(self, version):
+                        """Guard-token call re-validates the local."""
+                        yield self.device.write(1)
+                        if not self.engine.is_sealed(version):
+                            return
+                        self.engine.mark_persisted(version)
+
+                    def heartbeat(self):
+                        """Re-checks the loop guard before acting."""
+                        while self.running:
+                            yield self.interval
+                            if not self.running:
+                                break
+                            self.net.send(self.address, "manager")
+            ''',
+        })
+        assert "DPR-A01" not in rules_found(findings), findings
+
+    def test_non_protocol_scope_is_ignored(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/bench/tool.py": '''\
+                """Fixture: bench code is outside DPR-A01 scope."""
+
+
+                class Driver:
+                    """Fixture."""
+
+                    def loop(self):
+                        """Same shape, but not protocol state."""
+                        owner = self.owner_of
+                        yield 1.0
+                        return owner
+            ''',
+        })
+        assert "DPR-A01" not in rules_found(findings), findings
+
+
+class TestInterproceduralTaintRule:
+    """DPR-A02: nondeterminism sources laundered through call chains."""
+
+    def test_wall_clock_behind_utility_wrapper(self, tmp_path):
+        """A monotonic clock wrapped in a non-protocol helper reaches
+        protocol code: the per-file rules are silent, A02 is not."""
+        findings = lint_fixture(tmp_path, {
+            "repro/util/timing.py": '''\
+                """Fixture: utility module outside protocol scope."""
+
+                import time
+
+
+                def stamp():
+                    """Wall-clock helper."""
+                    return time.perf_counter()
+            ''',
+            "repro/cluster/proto.py": '''\
+                """Fixture."""
+
+                from repro.util.timing import stamp
+
+
+                class Node:
+                    """Fixture."""
+
+                    def handle(self):
+                        """Calls the laundered clock."""
+                        return stamp()
+            ''',
+        })
+        taint = [f for f in findings if f.rule == "DPR-A02"]
+        assert len(taint) == 1, findings
+        finding = taint[0]
+        assert finding.path.endswith("proto.py")
+        # The call chain from protocol code to the source is attached.
+        assert finding.trace == (
+            "repro.cluster.proto.Node.handle", "repro.util.timing.stamp")
+        assert finding.related and finding.related[0][1] == 8
+
+    def test_suppressed_source_still_propagates(self, tmp_path):
+        """A line-suppressed D01 source is uncovered: callers that
+        reach it through the graph still get flagged."""
+        findings = lint_fixture(tmp_path, {
+            "repro/cluster/wall.py": '''\
+                """Fixture."""
+
+                import time
+
+
+                def now():
+                    """Suppressed direct source."""
+                    return time.time()  # dprlint: disable=DPR-D01
+
+
+                class Proto:
+                    """Fixture."""
+
+                    def act(self):
+                        """Reaches the suppressed source."""
+                        return now()
+            ''',
+        })
+        assert "DPR-D01" not in rules_found(findings)
+        taint = [f for f in findings if f.rule == "DPR-A02"]
+        assert len(taint) == 1, findings
+        assert taint[0].trace[-1] == "repro.cluster.wall.now"
+
+    def test_covered_source_is_not_double_reported(self, tmp_path):
+        """When D01 already fires on the source, A02 stays silent —
+        one finding per root cause."""
+        findings = lint_fixture(tmp_path, {
+            "repro/cluster/direct.py": '''\
+                """Fixture."""
+
+                import time
+
+
+                def now():
+                    """Unsuppressed direct source: D01 covers it."""
+                    return time.time()
+
+
+                class Proto:
+                    """Fixture."""
+
+                    def act(self):
+                        """Calls the covered source."""
+                        return now()
+            ''',
+        })
+        assert "DPR-D01" in rules_found(findings)
+        assert "DPR-A02" not in rules_found(findings), findings
+
+
+class TestSuppressionEdgeCases:
+    def test_disable_inside_decorated_generator(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/cluster/dec.py": '''\
+                """Fixture."""
+
+                import functools
+
+
+                def traced(fn):
+                    """Fixture decorator."""
+                    @functools.wraps(fn)
+                    def wrap(*args, **kwargs):
+                        """Wrapper."""
+                        return fn(*args, **kwargs)
+                    return wrap
+
+
+                class Worker:
+                    """Fixture."""
+
+                    @traced
+                    def decorated_loop(self):
+                        """Stale snapshot suppressed on its own line."""
+                        owner = self.owner_of
+                        yield 1.0
+                        return owner  # dprlint: disable=DPR-A01
+            ''',
+        })
+        assert "DPR-A01" not in rules_found(findings), findings
+
+    def test_disable_on_multiline_statement(self, tmp_path):
+        """Findings anchor on the load's physical line; the disable
+        comment goes on that (continuation) line."""
+        findings = lint_fixture(tmp_path, {
+            "repro/cluster/multi.py": '''\
+                """Fixture."""
+
+
+                class Worker:
+                    """Fixture."""
+
+                    def multiline(self):
+                        """Stale use inside a statement spanning lines."""
+                        lease = self.lease_map
+                        yield 1.0
+                        self.apply(
+                            lease,  # dprlint: disable=DPR-A01
+                            "arg")
+            ''',
+        })
+        assert "DPR-A01" not in rules_found(findings), findings
+
+    def test_disable_on_yield_from_line(self, tmp_path):
+        findings = lint_fixture(tmp_path, {
+            "repro/cluster/dele.py": '''\
+                """Fixture."""
+
+
+                class Worker:
+                    """Fixture."""
+
+                    def flagged(self):
+                        """Unsuppressed twin: proves the rule fires."""
+                        sink = self.owner_sink
+                        yield 1.0
+                        yield from self.send_all(sink)
+
+                    def suppressed(self):
+                        """Same shape, disabled on the yield-from."""
+                        sink = self.owner_sink
+                        yield 1.0
+                        yield from self.send_all(sink)  # dprlint: disable=DPR-A01
+            ''',
+        })
+        flagged = [f for f in findings if f.rule == "DPR-A01"]
+        assert len(flagged) == 1, findings
+        assert flagged[0].line == 11
+
+
+class TestBaselineRoundTrip:
+    FILES = {
+        "repro/cluster/two.py": '''\
+            """Fixture with two findings for ordering tests."""
+
+            import time
+
+
+            def first():
+                """Direct source one."""
+                return time.time()
+
+
+            def second():
+                """Direct source two."""
+                return time.perf_counter()
+        ''',
+    }
+
+    def test_cli_write_then_read_is_clean(self, tmp_path):
+        write_tree(tmp_path, self.FILES)
+        baseline = tmp_path / "baseline.json"
+        written = run_cli(["--write-baseline", str(baseline),
+                           str(tmp_path)])
+        assert written.returncode == 0, written.stdout + written.stderr
+        clean = run_cli(["--baseline", str(baseline), str(tmp_path)])
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+
+    def test_baseline_matches_under_either_ordering(self, tmp_path):
+        """Fingerprint matching is order-independent: a baseline file
+        with its entries reversed suppresses the same findings."""
+        write_tree(tmp_path, self.FILES)
+        baseline = tmp_path / "baseline.json"
+        run_cli(["--write-baseline", str(baseline), str(tmp_path)])
+        entries = json.loads(baseline.read_text(encoding="utf-8"))
+        assert len(entries) >= 2
+        baseline.write_text(json.dumps(list(reversed(entries))),
+                            encoding="utf-8")
+        clean = run_cli(["--baseline", str(baseline), str(tmp_path)])
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+
+
+class TestSarifOutput:
+    FILES = {
+        "repro/util/clocks.py": '''\
+            """Fixture: laundered source for a trace-carrying finding."""
+
+            import time
+
+
+            def stamp():
+                """Wall-clock helper."""
+                return time.perf_counter()
+        ''',
+        "repro/cluster/mixed.py": '''\
+            """Fixture with error- and warning-tier findings."""
+
+            from repro.util.clocks import stamp
+
+
+            def helper(acc=[]):
+                """Mutable default: a warning-tier hygiene finding."""
+                return acc
+
+
+            class Node:
+                """Fixture."""
+
+                def handle(self):
+                    """Error-tier interprocedural taint finding."""
+                    return stamp()
+        ''',
+    }
+
+    def test_sarif_document_shape(self, tmp_path):
+        write_tree(tmp_path, self.FILES)
+        result = run_cli(["--format", "sarif", str(tmp_path)])
+        assert result.returncode == 1
+        doc = json.loads(result.stdout)
+        assert doc["version"] == "2.1.0"
+        [run] = doc["runs"]
+        driver = run["tool"]["driver"]
+        levels = {rule["id"]: rule["defaultConfiguration"]["level"]
+                  for rule in driver["rules"]}
+        assert levels["DPR-A01"] == "error"
+        assert levels["DPR-A02"] == "error"
+        assert levels["DPR-H01"] == "warning"
+        by_rule = {res["ruleId"]: res for res in run["results"]}
+        assert by_rule["DPR-H01"]["level"] == "warning"
+        taint = by_rule["DPR-A02"]
+        assert taint["level"] == "error"
+        region = taint["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 16
+        # Interprocedural context: call chain + source location.
+        assert taint["properties"]["trace"] == [
+            "repro.cluster.mixed.Node.handle",
+            "repro.util.clocks.stamp",
+        ]
+        related = taint["relatedLocations"]
+        assert related[0]["physicalLocation"]["artifactLocation"][
+            "uri"].endswith("clocks.py")
+
+    def test_sarif_is_deterministic(self, tmp_path):
+        write_tree(tmp_path, self.FILES)
+        first = run_cli(["--format", "sarif", str(tmp_path)])
+        second = run_cli(["--format", "sarif", str(tmp_path)])
+        assert first.stdout == second.stdout
+
+    def test_clean_tree_yields_empty_results(self, tmp_path):
+        write_tree(tmp_path, {"repro/core/ok.py": '"""Fixture."""\n'})
+        result = run_cli(["--format", "sarif", str(tmp_path)])
+        assert result.returncode == 0
+        [run] = json.loads(result.stdout)["runs"]
+        assert run["results"] == []
+
+
+class TestExplainAndListRules:
+    def test_explain_prints_docs_section(self):
+        result = run_cli(["--explain", "DPR-A01"])
+        assert result.returncode == 0
+        assert result.stdout.startswith("### DPR-A01")
+        assert "preemption point" in result.stdout
+
+    def test_explain_works_for_every_rule(self):
+        for rule in all_rules():
+            result = run_cli(["--explain", rule.id])
+            assert result.returncode == 0, (rule.id, result.stderr)
+            assert rule.id in result.stdout
+
+    def test_explain_unknown_rule_is_usage_error(self):
+        result = run_cli(["--explain", "DPR-XX"])
+        assert result.returncode == 2
+        assert "unknown rule" in result.stderr
+
+    def test_list_rules_shows_severity_tiers(self):
+        result = run_cli(["--list-rules"])
+        assert result.returncode == 0
+        lines = {line.split()[0]: line
+                 for line in result.stdout.splitlines() if line}
+        assert "[error]" in lines["DPR-A01"]
+        assert "[error]" in lines["DPR-A02"]
+        assert "[warning]" in lines["DPR-H01"]
+
+
+class TestAnalysisPerformance:
+    def test_full_tree_under_ten_seconds(self):
+        """The CI budget: whole-program analysis of src/ (call graph,
+        dataflow, and all per-file rules) stays interactive."""
+        import time
+        started = time.perf_counter()
+        findings = run_lint([str(SRC)])
+        elapsed = time.perf_counter() - started
+        assert findings == []
+        assert elapsed < 10.0, f"dprlint took {elapsed:.1f}s on src/"

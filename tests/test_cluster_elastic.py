@@ -536,3 +536,130 @@ class TestScaling:
         cluster.env.process(drain_all())
         cluster.env.run(until=cluster.env.now + 2.0)
         assert coordinator.owner_of(0) == "worker-0"
+
+
+class TestYieldPointRaces:
+    """Regressions for the check-then-act races across yield points
+    that dprlint DPR-A01 flagged (see docs/ANALYSIS.md).  Each test
+    drives the generator by hand so the racing interleaving is exact:
+    the mutation lands while the process is parked on a yield."""
+
+    def test_migrate_abandons_when_concurrently_rehomed(self, rig):
+        cluster, coordinator, _ = rig
+        partition = 0
+        old_owner = coordinator.owner_of(partition)
+        target = "worker-1" if old_owner == "worker-0" else "worker-0"
+        transfer = coordinator.migrate(partition, target)
+        next(transfer)  # step 1 done; metadata access in flight
+        # A concurrent recovery re-homes the partition mid-access.
+        coordinator.metadata.set_owner(partition, target)
+        coordinator.views[target].grant(partition)
+        # The transfer must abandon instead of nulling out the row the
+        # concurrent re-home just installed (and double-granting).
+        with pytest.raises(StopIteration):
+            transfer.send(None)
+        assert coordinator.owner_of(partition) == target
+        assert coordinator.migrations_completed == 0
+
+    def test_migrate_survives_target_detaching(self, rig):
+        cluster, coordinator, _ = rig
+        partition = 0
+        old_owner = coordinator.owner_of(partition)
+        # Orphan the partition so the transfer starts at step 3.
+        coordinator.views[old_owner].renounce(partition)
+        coordinator.metadata.set_owner(partition, None)
+        target = "worker-1" if old_owner == "worker-0" else "worker-0"
+        transfer = coordinator.migrate(partition, target)
+        next(transfer)  # step 3 metadata access in flight
+        coordinator.detach_worker(target)  # scale-in mid-transfer
+        # Must return cleanly (partition left unowned), not KeyError.
+        with pytest.raises(StopIteration):
+            transfer.send(None)
+        assert coordinator.owner_of(partition) is None
+        assert coordinator.migrations_completed == 0
+
+    def test_lease_renewal_skipped_when_crash_lands_mid_access(self, rig):
+        cluster, coordinator, _ = rig
+        worker = cluster.workers[0]
+        view = worker.ownership
+        renewals = []
+        view.refresh_against = lambda owner_of: renewals.append(owner_of)
+        loop = worker._lease_renewal_loop(view)
+        next(loop)       # renewal period elapses
+        loop.send(None)  # pre-checks passed; metadata access in flight
+        worker.crashed = True  # the crash lands during the access
+        loop.send(None)  # access completes
+        # A crashed worker must not refresh leases it no longer holds.
+        assert renewals == []
+
+    def test_rebalancer_stopped_mid_interval_plans_no_move(self):
+        tracer = Tracer()
+        cluster = DFasterCluster(DFasterConfig(
+            n_workers=2, vcpus=2, n_client_machines=0,
+            engine="faster", checkpoint_interval=0.05, tracer=tracer,
+        ))
+        coordinator = ElasticCoordinator(
+            cluster.env, cluster.metadata, cluster.workers,
+            partition_count=8)
+        client = PartitionedClient(cluster.env, cluster.net, "pclient",
+                                   cluster.metadata, coordinator)
+        # Same hot-traffic shape as the rebalancer test above: enough
+        # imbalance that the first policy tick WOULD plan a move.
+        hot_owner = "worker-0"
+        keys = {}
+        for index in range(1000):
+            key = f"key-{index}"
+            partition = coordinator.partitioner.partition_of(key)
+            if (coordinator.owner_of(partition) == hot_owner
+                    and partition not in keys):
+                keys[partition] = key
+                if len(keys) == 2:
+                    break
+        hot_keys = sorted(keys.values())
+
+        def driver():
+            index = 0
+            while True:
+                key = hot_keys[index % 2]
+                yield from client.request(key, [("set", key, index)], 1)
+                index += 1
+                yield 2e-3
+
+        def stopper():
+            yield 0.03  # mid-way through the first policy interval
+            coordinator.stop_rebalancer()
+
+        cluster.env.process(driver())
+        cluster.env.process(stopper())
+        coordinator.start_rebalancer(tracer, RebalancePolicy(
+            interval=0.05, hot_factor=1.1, min_ops=1.0))
+        cluster.env.run(until=0.3)
+        # The stop landed before the first tick: no post-stop move.
+        assert coordinator.migrations_completed == 0
+        assert coordinator.rebalance_moves == []
+
+
+class TestClientShutdownRace:
+    def test_no_batch_issued_after_stop_mid_metadata_read(self):
+        import random as _random
+
+        cluster = DFasterCluster(DFasterConfig(
+            n_workers=2, vcpus=2, n_client_machines=1, client_threads=1,
+            engine="faster", checkpoint_interval=0.05,
+        ))
+        machine = cluster.clients[0]
+
+        class _Router:
+            partition_count = 8
+
+            def __init__(self, metadata):
+                self.metadata = metadata
+
+        machine.router = _Router(cluster.metadata)
+        session = next(iter(machine.sessions.values()))
+        loop = machine._issue_loop(session, _random.Random(0))
+        next(loop)       # cache miss: metadata read in flight
+        machine.stop()   # stop() lands during the read
+        # The loop must exit without issuing one more batch.
+        with pytest.raises(StopIteration):
+            loop.send(None)

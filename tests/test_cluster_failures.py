@@ -320,3 +320,33 @@ class TestMembership:
         assert cuts["after"].version_of("worker-0") > \
             cuts["at_removal"].version_of("worker-0")
         assert "worker-2" not in list(cluster.finder.table.members())
+
+
+class TestNestedFailureRestart:
+    def test_restart_adopts_newest_plan_after_nested_failure(self):
+        """§7.4: a second failure during the bounded restart window
+        must not restart the worker onto the first (stale) plan's
+        world-line.  Driven by hand so the nesting is exact."""
+        cluster = DFasterCluster(DFasterConfig(**SMALL))
+        manager = cluster.manager
+        worker = cluster.workers[1]
+        worker.crash()
+        handler = manager._handle_crash("worker-1")
+        next(handler)        # metadata access for the first plan
+        handler.send(None)   # plan sealed (world-line 1); restart pending
+        # A second failure lands while the restart is in flight.
+        recovery = manager._recover()
+        next(recovery)       # metadata access for the nested plan
+        try:
+            recovery.send(None)  # world-line 2 planned and broadcast
+        except StopIteration:
+            pass
+        try:
+            handler.send(None)   # the bounded restart fires
+        except StopIteration:
+            pass
+        assert manager.controller.world_line == 2
+        # The restarted worker is on the newest world-line, not the
+        # superseded plan's.
+        assert worker.engine.world_line.current == 2
+        assert not worker.crashed

@@ -189,3 +189,36 @@ class TestControlMessages:
         replies = send_and_collect(env, net, client,
                                    [request(world_line=5)], until=0.05)
         assert replies[0].status == "retry"
+
+
+class TestStopMidIntervalRaces:
+    """Regressions for post-stop work flagged by dprlint DPR-A01: the
+    loop timers were already armed when stop() landed, and the old code
+    ran one more body before noticing."""
+
+    def test_no_checkpoint_after_stop_mid_interval(self, rig):
+        net, client, worker = rig
+        loop = worker._checkpoint_loop()
+        next(loop)     # checkpoint interval in flight
+        worker.stop()  # stop() lands before the timer fires
+        with pytest.raises(StopIteration):
+            loop.send(None)
+
+    def test_no_heartbeat_after_stop_mid_interval(self, rig):
+        net, client, worker = rig
+        sent = []
+
+        class _NetStub:
+            def send(self, *args, **kwargs):
+                sent.append(args)
+
+        loop = worker._heartbeat_loop()
+        next(loop)     # heartbeat interval in flight
+        worker.stop()
+        worker.net = _NetStub()
+        try:
+            with pytest.raises(StopIteration):
+                loop.send(None)
+        finally:
+            worker.net = net
+        assert sent == []

@@ -123,3 +123,27 @@ class TestAofModes:
             assert reply.served_at > 1.2 * base.served_at
         else:
             assert reply.served_at < 1.2 * base.served_at
+
+
+class TestCommitRollbackRace:
+    def test_rollback_during_bgsave_drops_checkpoint(self):
+        """A rollback landing while the BGSAVE latch is queued must not
+        persist (or report) the rolled-back version."""
+        cluster = make_cluster(checkpoint_interval=10.0)
+        [reply] = drive(cluster, [request()], until=0.02)
+        assert reply.status == "ok"
+        proxy = cluster.proxies[0]
+        commit = proxy._commit_once()
+        next(commit)  # sealed; BGSAVE latch queued
+        sealed_version = proxy.engine.version - 1
+        assert proxy.engine.is_sealed(sealed_version)
+        # The rollback drops every unpersisted sealed version.
+        proxy.engine.restore(
+            0, world_line=proxy.engine.world_line.current + 1)
+        assert not proxy.engine.is_sealed(sealed_version)
+        # The BGSAVE completes: the commit must abort, not write and
+        # report a checkpoint of a version that no longer exists.
+        with pytest.raises(StopIteration):
+            commit.send(None)
+        assert sealed_version not in proxy.engine.persisted_versions()
+        assert not proxy._committing
