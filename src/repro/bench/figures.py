@@ -20,9 +20,10 @@ from repro.bench.harness import (
     run_dredis_experiment,
 )
 from repro.bench.report import format_table
+from repro.cluster.client import ReplicaReadClient
 from repro.cluster.dredis import RedisMode
 from repro.sim.storage import StorageKind
-from repro.workloads import YCSB_A, YCSB_A_ZIPFIAN
+from repro.workloads import YCSB_A, YCSB_A_ZIPFIAN, YCSB_B
 
 Rows = List[Dict]
 
@@ -258,10 +259,74 @@ def elastic(scale: float = 1.0) -> Tuple[str, Rows]:
     return "Elasticity: throughput across a mid-run scale-out (Mops/s)", rows
 
 
+def replication(scale: float = 1.0) -> Tuple[str, Rows]:
+    """Recoverable-prefix read scale-out across replica counts.
+
+    YCSB-B writers drive the primaries — paying the chain's reply
+    gating, so write throughput dips slightly as chains deepen — while
+    closed-loop readers issue recoverable-prefix GETs against the
+    chains.  Any replica caught up to the guaranteed cut may serve, so
+    read throughput scales with chain depth on both systems.
+    """
+    duration, warmup = _window(scale)
+    window = duration - warmup
+
+    def read_mops(readers):
+        ops = sum(count for reader in readers
+                  for stamp, _primary, _durable, count in reader.read_log
+                  if stamp >= warmup)
+        return ops / window / 1e6
+
+    def attach_readers(cluster, readers, seed_base):
+        # Enough closed-loop readers to saturate the replicas' read
+        # servers (single-threaded here, see replica_vcpus below), so
+        # throughput tracks chain depth rather than round-trip latency.
+        primaries = sorted(cluster.replication.chains)
+        for index in range(32):
+            reader = ReplicaReadClient(
+                cluster.env, cluster.net, f"bench-reader-{index}",
+                cluster.metadata, primaries, rng=seed_base + index)
+            cluster.replication.register_client(reader)
+            readers.append(reader)
+            cluster.env.process(reader.run_closed_loop(),
+                                name=f"bench-reader-{index}")
+
+    rows = []
+    for factor in (1, 2, 3):
+        faster_readers: list = []
+        faster = run_dfaster_experiment(
+            f"replication d-faster r={factor}",
+            duration=duration, warmup=warmup,
+            n_workers=2, n_client_machines=2, workload=YCSB_B,
+            checkpoint_interval=0.05, replication_factor=factor,
+            replica_vcpus=1,
+            setup=lambda cluster, readers=faster_readers:
+                attach_readers(cluster, readers, 11))
+        redis_readers: list = []
+        redis = run_dredis_experiment(
+            f"replication d-redis r={factor}",
+            duration=duration, warmup=warmup,
+            n_shards=2, n_client_machines=2, mode=RedisMode.DPR,
+            workload=YCSB_B, checkpoint_interval=0.05,
+            replication_factor=factor, replica_vcpus=1,
+            setup=lambda cluster, readers=redis_readers:
+                attach_readers(cluster, readers, 23))
+        rows.append({
+            "replicas": factor,
+            "d-faster reads": read_mops(faster_readers),
+            "d-faster writes": faster.throughput_mops,
+            "d-redis reads": read_mops(redis_readers),
+            "d-redis writes": redis.throughput_mops,
+        })
+    return ("Replication: recoverable-prefix read scale-out (Mops/s)",
+            rows)
+
+
 FIGURES: Dict[str, Callable[[float], Tuple[str, Rows]]] = {
     "fig10": fig10, "fig11": fig11, "fig12": fig12, "fig13": fig13,
     "fig14": fig14, "fig15": fig15, "fig16": fig16, "fig17": fig17,
     "fig18": fig18, "fig19": fig19, "elastic": elastic,
+    "replication": replication,
 }
 
 

@@ -15,7 +15,11 @@ Composition (mirrors Figure 6):
 - :mod:`repro.cluster.client` — dedicated client machines with
   windowed, batched sessions;
 - :mod:`repro.cluster.services` — the DPR-finder service and the
-  cluster manager (failure detection and world-line bumps);
+  cluster manager (failure detection, world-line bumps, and
+  promotion-instead-of-rollback when a replica chain qualifies);
+- :mod:`repro.cluster.replication` — primary/replica chains: log
+  shipping with held client replies, recoverable-prefix read serving,
+  and the promotion mechanics;
 - :mod:`repro.cluster.dfaster` — the assembled D-FASTER cluster;
 - :mod:`repro.cluster.dredis` — the assembled D-Redis deployment
   (proxy + unmodified Redis per shard) plus the plain-Redis and
@@ -30,8 +34,14 @@ from repro.cluster.elastic import (
     PartitionedClient,
     RebalancePolicy,
 )
+from repro.cluster.client import ReplicaReadClient
 from repro.cluster.metadata import MetadataStore
 from repro.cluster.modeled import ModeledStore
+from repro.cluster.replication import (
+    ReplicaNode,
+    ReplicationDirector,
+    ReplicationSource,
+)
 
 __all__ = [
     "CostModel",
@@ -45,4 +55,8 @@ __all__ = [
     "PartitionedClient",
     "RebalancePolicy",
     "RedisMode",
+    "ReplicaNode",
+    "ReplicaReadClient",
+    "ReplicationDirector",
+    "ReplicationSource",
 ]

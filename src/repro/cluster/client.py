@@ -22,7 +22,12 @@ import random
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
-from repro.cluster.messages import BatchReply, BatchRequest
+from repro.cluster.messages import (
+    BatchReply,
+    BatchRequest,
+    ReplicaReadReply,
+    ReplicaReadRequest,
+)
 from repro.cluster.stats import ClusterStats
 from repro.core.cuts import DprCut
 from repro.core.versioning import Token
@@ -423,3 +428,217 @@ class ClientMachine:
 
     def total_aborted(self) -> int:
         return sum(s.aborted_ops for s in self.sessions.values())
+
+
+class _ReadGiveUp:
+    """Self-addressed marker waking a read waiting on a lost reply.
+
+    Routed through the :class:`~repro.sim.network.Network` back to the
+    read client's own endpoint — never injected into the inbox
+    directly — and re-sent on a timer until the waiter wakes, so a
+    dropped marker cannot wedge the read either.
+    """
+
+    __slots__ = ("read_id",)
+
+    def __init__(self, read_id: int):
+        self.read_id = read_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_ReadGiveUp(read_id={self.read_id})"
+
+
+class ReplicaReadClient:
+    """Recoverable-prefix reads against replica chains (read scaling).
+
+    The new read mode the replication tentpole adds: GET batches are
+    routed to any replica of the target shard whose published
+    ``durable_version`` has reached the shard's version in the current
+    guaranteed DPR cut, and are answered from a snapshot *at or below*
+    that cut version.  Such a read can *never observe a rollback*: a
+    §4.1 recovery restores to the guaranteed cut, so everything at or
+    below it survives by construction — the replica additionally
+    refuses ("behind") if its own watermarks lag the requested cut
+    version, so the guarantee holds even with stale routing state.
+
+    Routing state (cut versions and per-chain replica records) is
+    cached from the metadata store and refreshed on an interval — reads
+    stay off the primary's critical path and off the store's hot path
+    alike.  Replica choice is seeded-random over the qualified set, so
+    runs are deterministic and load spreads across chains.
+    """
+
+    def __init__(self, env: Environment, net: Network, address: str,
+                 metadata, primaries: List[str],
+                 refresh_interval: float = 20e-3,
+                 retry_delay: float = 2e-3,
+                 request_timeout: float = 50e-3,
+                 max_attempts: int = 50,
+                 rng: Optional[random.Random] = None):
+        self.env = env
+        self.net = net
+        self.address = address
+        self.endpoint = net.register(address)
+        self.metadata = metadata
+        #: The shards' primary addresses (== their engine object ids;
+        #: promotion preserves the id, so routing keys stay stable).
+        self.primaries = list(primaries)
+        self.refresh_interval = refresh_interval
+        self.retry_delay = retry_delay
+        self.request_timeout = request_timeout
+        #: A read returns None after this many failed attempts.
+        self.max_attempts = max_attempts
+        self._rng = make_rng(rng)
+        self._next_read = 0
+        #: primary -> guaranteed-cut version, from the last refresh.
+        self._cut_versions: Dict[str, int] = {}
+        #: primary -> [(replica_id, applied, durable)], last refresh.
+        self._records: Dict[str, List[Tuple[str, int, int]]] = {}
+        self._last_refresh = -1.0
+        self.reads_completed = 0
+        self.reads_failed = 0
+        #: "behind" bounces plus rounds with no qualified replica.
+        self.behind_bounces = 0
+        self.mismatched_replies = 0
+        #: (time, primary, durable_version, key count) per served read.
+        self.read_log: List[Tuple[float, str, int, int]] = []
+        #: Full audit ledger: what each read returned and under which
+        #: watermark — the prefix-recoverability tests check no value
+        #: here was ever rolled back.
+        self.history: List[Dict] = []
+        self.running = True
+
+    # -- routing ---------------------------------------------------------
+
+    def _refresh_routing(self) -> None:
+        self._last_refresh = self.env.now
+        cut = self.metadata.version_table.read_cut()
+        self._cut_versions = {p: cut.version_of(p) for p in self.primaries}
+        self._records = {p: self.metadata.replicas_of(p)
+                         for p in self.primaries}
+
+    def _pick_replica(self, primary: str) -> Optional[str]:
+        records = self._records.get(primary, [])
+        needed = self._cut_versions.get(primary, 0)
+        qualified = [replica_id for replica_id, applied, durable in records
+                     if durable >= needed and applied >= needed]
+        if not qualified:
+            return None
+        return qualified[self._rng.randrange(len(qualified))]
+
+    def _note_behind(self, primary: str, reply) -> None:
+        """Fold a "behind" bounce into the cached records so the next
+        attempt routes around the lagging replica."""
+        records = self._records.get(primary)
+        if not records:
+            return
+        updated = []
+        for replica_id, applied, durable in records:
+            if replica_id == reply.replica_id:
+                durable = min(durable, reply.durable_version)
+            updated.append((replica_id, applied, durable))
+        self._records[primary] = updated
+
+    # -- the read itself -------------------------------------------------
+
+    def read(self, primary: str, keys):
+        """A generator process: one recoverable-prefix GET batch.
+
+        Returns the "ok" :class:`~repro.cluster.messages.ReplicaReadReply`
+        (values ordered as ``keys``), or None once ``max_attempts``
+        rounds found no replica able to serve at the guaranteed cut.
+        """
+        env = self.env
+        keys = tuple(keys)
+        for _attempt in range(self.max_attempts):
+            if env.now - self._last_refresh > self.refresh_interval:
+                yield self.metadata.access()
+                self._refresh_routing()
+            target = self._pick_replica(primary)
+            if target is None:
+                self.behind_bounces += 1
+                self._last_refresh = -1.0
+                yield self.retry_delay
+                continue
+            self._next_read += 1
+            request = ReplicaReadRequest(
+                self._next_read, self.address, keys,
+                self._cut_versions.get(primary, 0), created_at=env.now)
+            self.net.send(self.address, target, request,
+                          size_ops=max(1, len(keys)))
+            reply = yield from self._await_reply(request.read_id)
+            if reply is None:
+                # Lost in transit or the replica is down: re-route.
+                self._last_refresh = -1.0
+                continue
+            if reply.status == "behind":
+                self.behind_bounces += 1
+                self._note_behind(primary, reply)
+                yield self.retry_delay
+                continue
+            self.reads_completed += 1
+            self.read_log.append((env.now, primary, reply.durable_version,
+                                  len(keys)))
+            self.history.append({
+                "time": env.now,
+                "primary": primary,
+                "replica": reply.replica_id,
+                "keys": keys,
+                "values": reply.values,
+                "durable_version": reply.durable_version,
+                "min_version": request.min_version,
+            })
+            return reply
+        self.reads_failed += 1
+        return None
+
+    def _await_reply(self, read_id: int):
+        state = {"done": False}
+        self.env.process(self._read_watchdog(read_id, state),
+                         name=f"read-watchdog:{self.address}/{read_id}")
+        try:
+            while True:
+                message = yield self.endpoint.inbox.get()
+                payload = message.payload
+                if isinstance(payload, _ReadGiveUp):
+                    if payload.read_id == read_id:
+                        return None
+                    self.mismatched_replies += 1
+                    continue
+                if (not isinstance(payload, ReplicaReadReply)
+                        or payload.read_id != read_id):
+                    self.mismatched_replies += 1
+                    continue
+                return payload
+        finally:
+            state["done"] = True
+
+    def _read_watchdog(self, read_id: int, state: Dict):
+        while not state["done"]:
+            yield self.request_timeout
+            if state["done"]:
+                return
+            self.net.send(self.address, self.address, _ReadGiveUp(read_id),
+                          size_ops=1)
+
+    # -- closed-loop driver (benchmarks) ---------------------------------
+
+    def run_closed_loop(self, batch_keys: int = 8, keyspace: int = 1024):
+        """Issue reads back-to-back, round-robin over the chains.
+
+        The replication benchmark's read side: completed reads are
+        tallied in ``read_log`` (timestamped), so throughput over a
+        measurement window falls out of a single scan.
+        """
+        env = self.env
+        index = 0
+        while self.running:
+            primary = self.primaries[index % len(self.primaries)]
+            index += 1
+            base = self._rng.randrange(keyspace)
+            keys = tuple((base + offset) % keyspace
+                         for offset in range(batch_keys))
+            yield from self.read(primary, keys)
+
+    def stop(self) -> None:
+        self.running = False

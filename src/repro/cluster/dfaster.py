@@ -63,6 +63,14 @@ class DFasterConfig:
     #: "modeled" runs the counters-only engine (performance studies);
     #: "faster" runs real FasterKV shards (functional studies).
     engine: str = "modeled"
+    #: Replicas per worker (primary/replica chains): 0 disables
+    #: replication entirely; N > 0 attaches N ReplicaNodes to every
+    #: worker, enabling recoverable-prefix reads and promotion-
+    #: instead-of-rollback on owner crashes.
+    replication_factor: int = 0
+    #: Server threads per replica (read serving is their only duty
+    #: until a promotion, so they need far fewer than primaries).
+    replica_vcpus: int = 4
     #: Keyspace for functional runs (modeled runs use workload.keyspace).
     functional_keyspace: int = 4096
     seed: int = 42
@@ -141,8 +149,15 @@ class DFasterCluster:
 
         #: Set by :meth:`enable_elasticity`.
         self.elastic = None
+        #: Set by :meth:`_attach_replication` (replication_factor > 0).
+        self.replication = None
         self.clients: List[ClientMachine] = []
         self._colocated: List["_ColocatedDriver"] = []
+        if config.replication_factor > 0 and config.colocated:
+            raise ValueError(
+                "replication is not supported in co-located mode: "
+                "co-located drivers serve replies without the reply-"
+                "holding hook replication requires")
         if config.colocated:
             for worker in self.workers:
                 driver = _ColocatedDriver(
@@ -164,6 +179,46 @@ class DFasterCluster:
                     recovery_pause=config.cost.client_recovery_pause,
                 )
                 self.clients.append(client)
+        if config.replication_factor > 0:
+            self._attach_replication(config.replication_factor)
+
+    def _attach_replication(self, factor: int) -> None:
+        """Attach a ``factor``-deep replica chain to every worker.
+
+        Replica engines carry the *primary's* object id (promotion
+        keeps the shard's DPR identity), while their network addresses
+        are ``replica:<primary>:<i>``.  The director is handed to the
+        cluster manager, whose crash handler tries promotion before
+        the §4.1 rollback.
+        """
+        from repro.cluster.replication import ReplicaNode, ReplicationDirector
+        config = self.config
+        director = ReplicationDirector(
+            self.env, self.net, self.metadata, self.finder_service,
+            "dpr-finder", "cluster-manager")
+        for index, worker in enumerate(self.workers):
+            replicas = []
+            for copy in range(factor):
+                address = f"replica:{worker.address}:{copy}"
+                node = ReplicaNode(
+                    self.env, self.net, address, worker.address,
+                    engine=self._build_engine(worker.address),
+                    device=StorageDevice(
+                        self.env, config.storage,
+                        rng=spawn(self._rng, f"rdev{index}.{copy}")),
+                    cost=config.cost,
+                    stats=self.stats,
+                    metadata=self.metadata,
+                    vcpus=config.replica_vcpus,
+                    checkpoint_interval=config.checkpoint_interval,
+                    rng=spawn(self._rng, f"replica{index}.{copy}"),
+                )
+                replicas.append(node)
+            director.attach_chain(worker, replicas)
+        for client in self.clients:
+            director.register_client(client)
+        self.manager.replication = director
+        self.replication = director
 
     def _build_engine(self, address: str):
         config = self.config
@@ -232,6 +287,9 @@ class DFasterCluster:
         )
         for client in self.clients:
             client.router = self.elastic
+        if self.replication is not None:
+            # Promotions must transfer the dead owner's leases.
+            self.replication.elastic = self.elastic
         return self.elastic
 
     def add_worker(self) -> DFasterWorker:
@@ -271,7 +329,9 @@ class DFasterCluster:
         worker.stop()
         self.net.set_up(worker.address, False)
         self.finder.remove_object(worker.address)
-        self.manager.workers.remove(worker.address)
+        # Full decommission: membership, monitoring, restart registry,
+        # and any in-flight recovery waiting on the departed address.
+        self.manager.decommission(worker.address)
         self.finder_service.workers.remove(worker.address)
         for client in self.clients:
             if worker.address in client.workers:

@@ -30,6 +30,7 @@ from repro.cluster.messages import (
     BatchRequest,
     CutBroadcast,
     PersistReport,
+    ReplicaAck,
     RollbackCommand,
     RollbackDone,
     SealReport,
@@ -83,6 +84,15 @@ class DRedisConfig:
     #: Observability: a :class:`repro.obs.Tracer` shared by every layer
     #: of this cluster (None = tracing off, zero recording overhead).
     tracer: Optional[object] = None
+    #: Replicas per shard (DPR mode only).  Each proxy streams its
+    #: batch/seal log to this many standby
+    #: :class:`~repro.cluster.replication.ReplicaNode` copies, which
+    #: serve recoverable-prefix reads.  D-Redis failures stay on the
+    #: cluster-wide §4.1 path (proxies are not heartbeat-monitored), so
+    #: chains here buy read scale-out, not promotion.
+    replication_factor: int = 0
+    #: Simulated threads on each replica's read server.
+    replica_vcpus: int = 4
 
 
 class _RedisInstance:
@@ -155,6 +165,9 @@ class _DRedisProxy:
         self.checkpoint_interval = config.checkpoint_interval
         self.running = True
         self.crashed = False
+        #: Optional :class:`~repro.cluster.replication.ReplicationSource`
+        #: streaming this proxy's batch/seal log to standby replicas.
+        self.replication = None
         #: Optional lease-guarded ownership view (§5.3), mirroring
         #: DFasterWorker; set via :meth:`attach_ownership`.
         self.ownership = None
@@ -222,16 +235,24 @@ class _DRedisProxy:
                 env.process(self._handle_rollback(payload),
                             name=f"proxy-rollback:{self.address}")
                 continue
+            if isinstance(payload, ReplicaAck):
+                if self.replication is not None:
+                    self.replication.handle_ack(payload)
+                continue
             request: BatchRequest = payload
             key = (request.session_id, request.batch_id)
             cached = self._replies.get(key)
             if cached is not None:
                 # Duplicate of a served batch: answer from the memoized
-                # reply without touching Redis again.
+                # reply without touching Redis again — unless the
+                # original reply is still held pending replica acks, in
+                # which case resending would leak an unreplicated batch.
                 self.duplicate_batches += 1
-                reply_to, reply = cached
-                self.cluster.net.send(self.address, reply_to, reply,
-                                      size_ops=request.op_count)
+                if (self.replication is None
+                        or not self.replication.is_held(key)):
+                    reply_to, reply = cached
+                    self.cluster.net.send(self.address, reply_to, reply,
+                                          size_ops=request.op_count)
                 continue
             if key in self._inflight:
                 self.duplicate_batches += 1
@@ -329,8 +350,14 @@ class _DRedisProxy:
             self._replies[key] = (request.reply_to, reply)
             while len(self._replies) > REPLY_CACHE:
                 self._replies.popitem(last=False)
-            self.cluster.net.send(self.address, request.reply_to, reply,
-                                  size_ops=request.op_count)
+            source = self.replication
+            if source is not None:
+                # Chain gating: the "ok" is held until every replica
+                # acks the batch's log entry.
+                source.hold_and_send(request, reply)
+            else:
+                self.cluster.net.send(self.address, request.reply_to,
+                                      reply, size_ops=request.op_count)
 
     # -- Commit() via BGSAVE ----------------------------------------------------
 
@@ -363,6 +390,8 @@ class _DRedisProxy:
                                       (self.address, version), env.now)
             self.cluster.net.send(self.address, "dpr-finder",
                                   SealReport(descriptor), size_ops=1)
+            if self.replication is not None:
+                self.replication.log_seal(version)
             # Exclusive latch: BGSAVE through the Redis command queue.
             saved = env.event(name=f"bgsave:{self.address}")
             self.redis.queue.put(("BGSAVE", lambda _r: saved.succeed()))
@@ -392,6 +421,8 @@ class _DRedisProxy:
             self.cluster.net.send(self.address, "dpr-finder",
                                   PersistReport(self.address, version),
                                   size_ops=1)
+            if self.replication is not None:
+                self.replication.log_persist(version)
         finally:
             self._committing = False
 
@@ -407,6 +438,9 @@ class _DRedisProxy:
                 PersistReport(self.address, descriptor.token.version),
                 size_ops=1,
             )
+            if self.replication is not None:
+                self.replication.log_seal(descriptor.token.version)
+                self.replication.log_persist(descriptor.token.version)
 
     # -- Restore() via restart ------------------------------------------------------
 
@@ -415,8 +449,14 @@ class _DRedisProxy:
         cost = self.cluster.config.cost
         target = command.cut.version_of(self.address)
         if command.world_line > self.engine.world_line.current:
-            self.engine.restore(target, world_line=command.world_line)
+            restored = self.engine.restore(target,
+                                           world_line=command.world_line)
             self.cached_cut = command.cut
+            if self.replication is not None:
+                # The proxy survives the rollback in place (no restart),
+                # so the stream continues in-epoch: replicas mirror the
+                # restore to the version the engine actually landed on.
+                self.replication.log_rollback(command.world_line, restored)
             # Restore() restarts the Redis instance (§6): the restart
             # dwarfs THROW-style windows.
             yield cost.rollback_window * 2
@@ -496,6 +536,56 @@ class DRedisCluster:
                 rng=spawn(self._rng, f"client{index}"),
             ))
 
+        #: Set by :meth:`_attach_replication`.
+        self.replication = None
+        if config.replication_factor > 0:
+            if config.mode is not RedisMode.DPR:
+                raise ValueError("replication_factor needs DPR mode")
+            self._attach_replication(config.replication_factor)
+
+    def _attach_replication(self, factor: int):
+        """Hang ``factor`` replicas off every DPR proxy.
+
+        Replica engines are :class:`ModeledStore` copies constructed
+        with the *proxy's* address as object id, so the replicated
+        seal/persist history lines up with the primary's DPR row.
+        Unlike D-FASTER, promotion never fires here — proxies are not
+        heartbeat-monitored (failures take the cluster-wide §4.1 path
+        via :meth:`schedule_failure`) — so the chains buy durable-prefix
+        read scale-out and the reply-holding write path only.
+        """
+        from repro.cluster.replication import (
+            ReplicaNode,
+            ReplicationDirector,
+        )
+        config = self.config
+        workload = config.workload
+        director = ReplicationDirector(
+            self.env, self.net, self.metadata, self.finder_service,
+            "dpr-finder", "cluster-manager")
+        for index, proxy in enumerate(self.proxies):
+            replicas = []
+            for copy in range(factor):
+                engine = ModeledStore(
+                    proxy.address,
+                    effective_keys=workload.effective_shard_keys(
+                        config.n_shards),
+                )
+                device = StorageDevice(
+                    self.env, config.storage,
+                    rng=spawn(self._rng, f"rdev{index}.{copy}"))
+                replicas.append(ReplicaNode(
+                    self.env, self.net,
+                    f"replica:{proxy.address}:{copy}", proxy.address,
+                    engine, device, config.cost, self.stats,
+                    self.metadata, vcpus=config.replica_vcpus,
+                    checkpoint_interval=config.checkpoint_interval,
+                    rng=spawn(self._rng, f"replica{index}.{copy}")))
+            director.attach_chain(proxy, replicas)
+        for client in self.clients:
+            director.register_client(client)
+        self.replication = director
+
     def _plain_frontend(self, redis: _RedisInstance, endpoint):
         """PLAIN mode: the Redis instance reads its own socket."""
         while True:
@@ -572,4 +662,6 @@ class DRedisCluster:
         )
         for client in self.clients:
             client.router = self.elastic
+        if self.replication is not None:
+            self.replication.elastic = self.elastic
         return self.elastic

@@ -352,6 +352,24 @@ class ElasticCoordinator:
         return partition, cold
 
 
+class _GiveUp:
+    """Self-addressed marker: a send attempt exhausted its resends.
+
+    Routed through :meth:`Network.send <repro.sim.network.Network.send>`
+    back to the client's own endpoint (never injected into the inbox
+    directly), so it obeys the same delivery model as everything else;
+    the retransmit loop keeps re-sending it until the waiter wakes.
+    """
+
+    __slots__ = ("batch_id",)
+
+    def __init__(self, batch_id: int):
+        self.batch_id = batch_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_GiveUp(batch_id={self.batch_id})"
+
+
 class PartitionedClient:
     """A DPR-aware client routing single batches by partition (§5.3).
 
@@ -366,7 +384,8 @@ class PartitionedClient:
     def __init__(self, env: Environment, net: Network, address: str,
                  metadata: MetadataStore, coordinator: ElasticCoordinator,
                  retry_delay: float = 2e-3,
-                 request_timeout: float = 50e-3):
+                 request_timeout: float = 50e-3,
+                 max_resends: int = 8):
         self.env = env
         self.net = net
         self.address = address
@@ -377,6 +396,12 @@ class PartitionedClient:
         #: Unanswered requests are retransmitted this often (the network
         #: is at-least-once; the worker's dedup absorbs extra copies).
         self.request_timeout = request_timeout
+        #: After this many resends the attempt gives up and the owner
+        #: mapping is re-resolved — the addressee may be gone for good
+        #: (crashed, with a promoted replica now owning the partition).
+        self.max_resends = max_resends
+        #: Attempts abandoned after max_resends (owner unreachable).
+        self.giveups = 0
         #: The DPR session: world-line, Vs, commit watermark.
         self.session = Session(address)
         #: Locally cached partition -> owner mapping (§5.3: clients
@@ -424,6 +449,7 @@ class PartitionedClient:
         ops = tuple(ops)
         partition = self.coordinator.partitioner.partition_of(key)
         header = None
+        request = None
         refresh = False
         while True:
             owner = yield from self._owner(partition, refresh)
@@ -440,31 +466,46 @@ class PartitionedClient:
                 # attempts (which provably did not execute) re-send the
                 # same span under a fresh batch id.
                 header = session.issue(owner, now=env.now, count=len(ops))
-            self._next_batch += 1
-            request = BatchRequest(
-                batch_id=self._next_batch,
-                session_id=self.address,
-                reply_to=self.address,
-                world_line=header.world_line,
-                min_version=header.min_version,
-                first_seqno=header.seqno,
-                op_count=len(ops),
-                write_count=write_count,
-                ops=ops,
-                deps=header.deps,
-                created_at=env.now,
-                partition=partition,
-            )
+            if request is None:
+                self._next_batch += 1
+                request = BatchRequest(
+                    batch_id=self._next_batch,
+                    session_id=self.address,
+                    reply_to=self.address,
+                    world_line=header.world_line,
+                    min_version=header.min_version,
+                    first_seqno=header.seqno,
+                    op_count=len(ops),
+                    write_count=write_count,
+                    ops=ops,
+                    deps=header.deps,
+                    created_at=env.now,
+                    partition=partition,
+                )
             reply = yield from self._send_and_await(owner, request)
-            if reply.status == "not_owner":
-                # Stale cache: re-read the mapping and retry (§5.3).
+            if reply is None:
+                # The addressee never answered (crashed; possibly
+                # replaced by a promoted replica).  Re-resolve the
+                # owner and re-send the SAME batch id: if the original
+                # did execute before the crash, the replicated reply
+                # memo on the new owner answers the duplicate instead
+                # of re-applying the ops.
                 self.retries += 1
                 refresh = True
                 yield self.retry_delay
                 continue
-            if reply.status == "retry":
-                # Worker mid-recovery; back off and re-send.
+            if reply.status == "not_owner":
+                # Stale cache: re-read the mapping and retry (§5.3).
+                # The batch provably did not execute: fresh id.
                 self.retries += 1
+                refresh = True
+                request = None
+                yield self.retry_delay
+                continue
+            if reply.status == "retry":
+                # Worker mid-recovery; back off and re-send fresh.
+                self.retries += 1
+                request = None
                 yield self.retry_delay
                 continue
             if reply.status == "rolled_back":
@@ -494,23 +535,34 @@ class PartitionedClient:
         duplicate/reorder fault plans the inbox may hold stale replies
         to earlier attempts, and taking "whatever arrives" would
         misattribute them.  Mismatches are counted and dropped.
+
+        Returns None when the attempt exhausts ``max_resends`` without
+        an answer — an unreachable owner must not wedge the client
+        forever (its address may never come back: a crash handled by
+        promotion re-homes the partition to a different address).
         """
         env = self.env
         self.net.send(self.address, owner, request,
                       size_ops=request.op_count)
-        state = {"done": False}
+        state = {"done": False, "attempts": 0}
         if self.request_timeout is not None:
             env.process(self._retransmit(owner, request, state),
                         name=f"pclient-retx:{self.address}")
         try:
             while True:
                 message = yield self.endpoint.inbox.get()
-                reply = message.payload
-                if (not isinstance(reply, BatchReply)
-                        or reply.batch_id != request.batch_id):
+                payload = message.payload
+                if isinstance(payload, _GiveUp):
+                    if payload.batch_id == request.batch_id:
+                        self.giveups += 1
+                        return None
                     self.mismatched_replies += 1
                     continue
-                return reply
+                if (not isinstance(payload, BatchReply)
+                        or payload.batch_id != request.batch_id):
+                    self.mismatched_replies += 1
+                    continue
+                return payload
         finally:
             state["done"] = True
 
@@ -519,6 +571,14 @@ class PartitionedClient:
             yield self.request_timeout
             if state["done"]:
                 return
+            if state["attempts"] >= self.max_resends:
+                # Tell the waiter to abandon this attempt; keep nudging
+                # (the marker itself rides the lossy network) until the
+                # waiter flips state["done"].
+                self.net.send(self.address, self.address,
+                              _GiveUp(request.batch_id), size_ops=1)
+                continue
+            state["attempts"] += 1
             self.resends += 1
             self.net.send(self.address, owner, request,
                           size_ops=request.op_count)

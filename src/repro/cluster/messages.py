@@ -168,3 +168,113 @@ class Heartbeat:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Heartbeat(worker_id={self.worker_id!r})"
+
+
+class ReplicaAppend:
+    """Primary -> replica: one replication-log entry.
+
+    ``entries`` is a tuple of log records, each a tuple whose first
+    element names the kind: ``("batch", request, version)`` carries an
+    executed client batch, ``("seal", version)`` mirrors a sealed
+    checkpoint boundary, ``("rollback", world_line, version)`` mirrors a
+    §4.1 restore, and ``("reset", world_line, cut, resume_version)``
+    announces a primary restart (new stream epoch).  ``(epoch, seq)``
+    orders entries within a stream epoch so the at-least-once network
+    can be deduplicated with a per-epoch floor.
+    """
+
+    __slots__ = ("primary", "epoch", "seq", "entries")
+
+    def __init__(self, primary: str, epoch: int, seq: int, entries: Tuple):
+        self.primary = primary
+        self.epoch = epoch
+        self.seq = seq
+        self.entries = entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ReplicaAppend(primary={self.primary!r}, epoch={self.epoch}, "
+                f"seq={self.seq}, entries={len(self.entries)})")
+
+
+class ReplicaAck:
+    """Replica -> primary: cumulative ack for a stream epoch.
+
+    ``seq`` is the highest contiguously applied sequence number; the
+    primary releases held client replies once every replica's ack
+    covers the entry that produced them.
+    """
+
+    __slots__ = ("replica_id", "primary", "epoch", "seq")
+
+    def __init__(self, replica_id: str, primary: str, epoch: int, seq: int):
+        self.replica_id = replica_id
+        self.primary = primary
+        self.epoch = epoch
+        self.seq = seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ReplicaAck(replica_id={self.replica_id!r}, "
+                f"epoch={self.epoch}, seq={self.seq})")
+
+
+class ReplicaDurable:
+    """Primary -> replica: the primary's persisted watermark advanced.
+
+    Replicas fold this into their ``durable_version`` record so the
+    recoverable-prefix read gate (and promotion qualification) reflects
+    what the primary has actually made durable.
+    """
+
+    __slots__ = ("primary", "version")
+
+    def __init__(self, primary: str, version: int):
+        self.primary = primary
+        self.version = version
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReplicaDurable(primary={self.primary!r}, version={self.version})"
+
+
+class ReplicaReadRequest:
+    """Read client -> replica: a recoverable-prefix GET batch.
+
+    ``min_version`` is the guaranteed-cut version for the partition's
+    primary at issue time; the replica refuses (status "behind") unless
+    its ``durable_version`` has reached it, so a served read can never
+    observe state that a later §4.1 rollback would erase.
+    """
+
+    __slots__ = ("read_id", "reply_to", "keys", "min_version", "created_at")
+
+    def __init__(self, read_id: int, reply_to: str, keys: Tuple,
+                 min_version: int, created_at: float = 0.0):
+        self.read_id = read_id
+        self.reply_to = reply_to
+        self.keys = keys
+        self.min_version = min_version
+        self.created_at = created_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ReplicaReadRequest(read_id={self.read_id}, "
+                f"keys={len(self.keys)}, min_version={self.min_version})")
+
+
+class ReplicaReadReply:
+    """Replica -> read client: values (or a "behind" bounce)."""
+
+    __slots__ = ("read_id", "replica_id", "status", "durable_version",
+                 "values", "served_at")
+
+    def __init__(self, read_id: int, replica_id: str, status: str,
+                 durable_version: int = 0, values: Optional[Tuple] = None,
+                 served_at: float = 0.0):
+        self.read_id = read_id
+        self.replica_id = replica_id
+        self.status = status  # "ok" | "behind"
+        self.durable_version = durable_version
+        self.values = values
+        self.served_at = served_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ReplicaReadReply(read_id={self.read_id}, "
+                f"status={self.status!r}, durable_version={self.durable_version})")

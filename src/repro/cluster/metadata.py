@@ -1,9 +1,11 @@
 """The metadata store: the paper's Azure SQL database (§5.3).
 
-Holds the three tables D-FASTER needs — the DPR table (worker ->
-persisted version, doubling as the source of truth for cluster
-membership), the ownership table (virtual partition -> worker), and the
-published cut/world-line — behind a simulated round-trip latency.
+Holds the tables D-FASTER needs — the DPR table (worker -> persisted
+version, doubling as the source of truth for cluster membership), the
+ownership table (virtual partition -> worker), the published
+cut/world-line, and the replication tables (per-primary replica
+watermark records plus the promotion election CAS table) — behind a
+simulated round-trip latency.
 
 The store itself is fault-tolerant (the paper provisions a managed SQL
 instance); it never *loses data* in the simulation.  It can, however,
@@ -21,7 +23,7 @@ operation fast path ever touches this store.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.cuts import DprCut
 from repro.core.finder.base import VersionTable
@@ -45,6 +47,10 @@ class MetadataStore:
         self.version_table = VersionTable()
         #: virtual partition id -> owning worker id.
         self.ownership: Dict[int, str] = {}
+        #: primary worker id -> {replica id -> (applied, durable)}.
+        self.replica_records: Dict[str, Dict[str, Tuple[int, int]]] = {}
+        #: (primary id, election epoch) -> elected replica id (CAS table).
+        self.elections: Dict[Tuple[str, int], str] = {}
         self.queries = 0
         self.faults = faults
 
@@ -82,6 +88,67 @@ class MetadataStore:
             self.ownership.pop(partition, None)
         else:
             self.ownership[partition] = worker_id
+
+    def reassign_owner(self, old_owner: str, new_owner: str) -> List[int]:
+        """Re-home every partition mapped to ``old_owner``.
+
+        Used by the promotion path: the elected replica inherits the
+        dead primary's entire partition set in one metadata write.
+        Returns the (sorted) re-homed partition ids.
+        """
+        moved = sorted(p for p, w in self.ownership.items() if w == old_owner)
+        for partition in moved:
+            self.ownership[partition] = new_owner
+        return moved
+
+    # -- replication records (per-primary replica chains) --------------------
+
+    def register_replica(self, primary: str, replica_id: str) -> None:
+        """Enrol ``replica_id`` in ``primary``'s chain (watermarks 0)."""
+        chain = self.replica_records.setdefault(primary, {})
+        chain.setdefault(replica_id, (0, 0))
+
+    def drop_replica(self, primary: str, replica_id: str) -> None:
+        """Remove a replica's record (chain retirement / promotion)."""
+        chain = self.replica_records.get(primary)
+        if chain is not None:
+            chain.pop(replica_id, None)
+            if not chain:
+                self.replica_records.pop(primary, None)
+
+    def publish_replica(self, primary: str, replica_id: str,
+                        applied_version: int, durable_version: int) -> None:
+        """Monotonically advance a replica's (applied, durable) record."""
+        chain = self.replica_records.setdefault(primary, {})
+        applied0, durable0 = chain.get(replica_id, (0, 0))
+        chain[replica_id] = (max(applied0, applied_version),
+                             max(durable0, durable_version))
+
+    def reset_replica(self, primary: str, replica_id: str,
+                      applied_version: int, durable_version: int) -> None:
+        """Overwrite a replica's record non-monotonically.
+
+        Used after a primary restart reset lowered the replica's
+        watermarks (or marked it permanently stale): the monotone
+        :meth:`publish_replica` merge would keep advertising the
+        pre-reset high-water marks and mis-qualify the replica for
+        promotion or reads.
+        """
+        chain = self.replica_records.setdefault(primary, {})
+        chain[replica_id] = (applied_version, durable_version)
+
+    def replicas_of(self, primary: str) -> List[Tuple[str, int, int]]:
+        """Sorted ``(replica_id, applied, durable)`` records for a chain."""
+        chain = self.replica_records.get(primary, {})
+        return [(rid, chain[rid][0], chain[rid][1]) for rid in sorted(chain)]
+
+    def elect(self, primary: str, epoch: int, candidate: str) -> str:
+        """Compare-and-swap election: first writer wins for an epoch.
+
+        Returns the incumbent (the candidate if the CAS installed it) —
+        concurrent electors converge on one winner deterministically.
+        """
+        return self.elections.setdefault((primary, epoch), candidate)
 
     # -- membership (the DPR table doubles as membership, §5.3) --------------
 

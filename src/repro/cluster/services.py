@@ -21,10 +21,20 @@ per-worker ack timeout until every survivor's ``RollbackDone`` arrives,
 and duplicate or stale ``RollbackDone``s are absorbed idempotently —
 the delivery guarantee required of the network is "eventually, with
 retries", not "exactly once".
+
+When a :class:`~repro.cluster.replication.ReplicationDirector` is
+attached, a detected crash first attempts **promotion instead of
+rollback**: if the dead owner has a replica whose applied watermark has
+reached the guaranteed cut, a deterministic election (metadata CAS with
+a seeded tie-break) picks one, the director re-homes the shard onto it,
+and the world-line is left untouched — no survivor rolls anything
+back.  Only when no replica qualifies (or a recovery is already in
+flight) does the crash fall through to the §4.1 path.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, List, Optional
 
 from repro.cluster.messages import (
@@ -41,6 +51,7 @@ from repro.core.recovery import RecoveryController
 from repro.core.versioning import Token
 from repro.sim.kernel import Environment
 from repro.sim.network import Network
+from repro.sim.rand import make_rng
 
 
 class FinderService:
@@ -218,6 +229,17 @@ class ClusterManager:
         self._latest_plan = None
         #: (worker_id, detected_at, restarted_at) per detected crash.
         self.detected_crashes: List[Dict] = []
+        #: Optional :class:`~repro.cluster.replication.ReplicationDirector`;
+        #: when set, _handle_crash tries promotion before rollback.
+        self.replication = None
+        #: One record per successful promotion (no world-line bump).
+        self.promotions: List[Dict] = []
+        #: Crashes that had replication attached but still had to take
+        #: the §4.1 rollback path (no replica qualified, or a recovery
+        #: was already in flight).
+        self.promotion_fallbacks = 0
+        #: Per-primary election epoch counter for the metadata CAS.
+        self._election_epochs: Dict[str, int] = {}
         env.process(self._receive_loop(), name=f"manager-rx:{address}")
         env.process(self._monitor_loop(), name=f"manager-mon:{address}")
 
@@ -280,6 +302,12 @@ class ClusterManager:
             for worker in sorted(pending):
                 if worker in self._handling_crash:
                     continue  # its restart path reports completion
+                if worker not in self.workers:
+                    # Decommissioned (scale-in) or replaced by a
+                    # promotion while this recovery was in flight: the
+                    # address will never ack, and a stale command must
+                    # not chase whoever inherited its duties.
+                    continue
                 self.net.send(self.address, worker, command, size_ops=1)
                 self.retransmissions += 1
 
@@ -311,11 +339,18 @@ class ClusterManager:
                                 name=f"crash:{worker_id}")
 
     def _handle_crash(self, worker_id: str):
-        """Restart the dead worker and roll the survivors back (§4.1)."""
+        """Handle a detected crash: promote a caught-up replica if one
+        exists, otherwise restart the dead worker and roll the
+        survivors back (§4.1)."""
         env = self.env
         record = {"worker_id": worker_id, "detected_at": env.now,
                   "restarted_at": None}
         self.detected_crashes.append(record)
+        if self.replication is not None:
+            promoted = yield from self._try_promotion(worker_id, record)
+            if promoted:
+                return
+            self.promotion_fallbacks += 1
         # Freeze the guarantee and assign the new world-line first.
         yield self.metadata.access()
         plan = self.controller.plan_recovery(self.workers)
@@ -342,21 +377,128 @@ class ClusterManager:
             # the newest world-line and cut, not the stale plan's.
             plan = self._latest_plan
         worker = self.worker_registry.get(worker_id)
-        if worker is not None:
-            resume = self.controller.finder.table.max_version() + 1
-            worker.restart(plan.cut, plan.world_line, resume_version=resume)
+        if worker is None:
+            # The worker was decommissioned while this recovery was in
+            # flight (scale-in raced the crash): there is nothing to
+            # restart.  Forget the address entirely — re-seeding its
+            # heartbeat clock here would make the monitor re-detect the
+            # ghost every heartbeat_timeout forever.
+            if worker_id in self.workers:
+                self.workers.remove(worker_id)
+            self._last_heartbeat.pop(worker_id, None)
+            self._handling_crash.discard(worker_id)
+            self._absorb_rollback_done(
+                RollbackDone(worker_id, plan.world_line))
+            return
+        resume = self.controller.finder.table.max_version() + 1
+        worker.restart(plan.cut, plan.world_line, resume_version=resume)
         record["restarted_at"] = env.now
         self._last_heartbeat[worker_id] = env.now
         self._handling_crash.discard(worker_id)
         # The restarted worker is already at the cut: report it restored.
         self._absorb_rollback_done(RollbackDone(worker_id, plan.world_line))
 
+    def _try_promotion(self, worker_id: str, record: Dict):
+        """Promote a caught-up replica of ``worker_id`` — if one exists.
+
+        Qualification: the replica's *applied* watermark (published to
+        the metadata store) has reached the dead owner's version in the
+        current guaranteed cut.  Because the primary withheld every
+        client "ok" until all replicas acked the batch, a qualified
+        replica provably holds every acknowledged write — taking over
+        loses nothing any client was told succeeded, so the world-line
+        is left untouched and no survivor rolls back.
+
+        Election is deterministic: among the most-caught-up qualified
+        replicas the winner is drawn with a seeded RNG (crc32 of the
+        primary and election epoch) and installed in the metadata CAS
+        table, so concurrent electors converge on the same choice.
+
+        Returns True on success; False routes the caller to §4.1.
+        """
+        if self._pending or self.controller.in_progress:
+            return False
+        yield self.metadata.access()
+        # Re-validate after the metadata round trip: a §7.4 bump or a
+        # nested failure may have started a recovery meanwhile, and a
+        # promotion must never interleave with an in-flight rollback.
+        if (self._pending or self.controller.in_progress
+                or worker_id not in self._handling_crash):
+            return False
+        cut = self.controller.finder.current_cut()
+        dead = self.worker_registry.get(worker_id)
+        object_id = dead.engine.object_id if dead is not None else worker_id
+        required = cut.version_of(object_id)
+        qualified = [
+            (replica_id, applied)
+            for replica_id, applied, _durable
+            in self.metadata.replicas_of(worker_id)
+            if applied >= required
+        ]
+        if not qualified:
+            return False
+        best = max(applied for _replica_id, applied in qualified)
+        leaders = sorted(replica_id for replica_id, applied in qualified
+                         if applied == best)
+        epoch = self._election_epochs.get(worker_id, 0) + 1
+        self._election_epochs[worker_id] = epoch
+        seed = zlib.crc32(f"elect:{worker_id}:{epoch}".encode("utf-8"))
+        candidate = leaders[make_rng(seed).randrange(len(leaders))]
+        winner = self.metadata.elect(worker_id, epoch, candidate)
+        node = self.replication.promote(worker_id, winner)
+        if node is None:
+            return False
+        # Swap the dead address for the promoted one in every manager
+        # structure, index-preserving so recovery fan-outs stay stable.
+        for index, address in enumerate(self.workers):
+            if address == worker_id:
+                self.workers[index] = node.address
+        self.worker_registry.pop(worker_id, None)
+        self.worker_registry[node.address] = node
+        self._last_heartbeat.pop(worker_id, None)
+        self._last_heartbeat[node.address] = self.env.now
+        self._handling_crash.discard(worker_id)
+        record["restarted_at"] = self.env.now
+        record["promoted_to"] = node.address
+        self.promotions.append({
+            "time": self.env.now,
+            "worker_id": worker_id,
+            "promoted": node.address,
+            "world_line": self.controller.world_line,
+        })
+        if self.env.tracer is not None:
+            self.env.tracer.span("manager.promotion", self.env.now, 0.0,
+                                 worker=worker_id, promoted=node.address)
+        return True
+
+    def decommission(self, worker_id: str) -> None:
+        """Forget a scaled-in worker completely.
+
+        Removes it from membership, monitoring, and the restart
+        registry, and absorbs a synthetic ``RollbackDone`` for every
+        recovery still waiting on it — a removed worker will never ack,
+        and recovery must not wedge on (or keep retransmitting to) an
+        address that no longer exists.
+        """
+        if worker_id in self.workers:
+            self.workers.remove(worker_id)
+        self.worker_registry.pop(worker_id, None)
+        self._last_heartbeat.pop(worker_id, None)
+        self._handling_crash.discard(worker_id)
+        for world_line in sorted(self._pending):
+            self._absorb_rollback_done(RollbackDone(worker_id, world_line))
+
     def _receive_loop(self):
         while True:
             message = yield self.endpoint.inbox.get()
             payload = message.payload
             if isinstance(payload, Heartbeat):
-                self._last_heartbeat[payload.worker_id] = self.env.now
+                # A straggler heartbeat from a decommissioned (or
+                # promoted-away) address must not resurrect its clock
+                # entry — membership is the workers list, not whoever
+                # still has packets in flight.
+                if payload.worker_id in self.workers:
+                    self._last_heartbeat[payload.worker_id] = self.env.now
             elif isinstance(payload, RollbackDone):
                 self._absorb_rollback_done(payload)
 

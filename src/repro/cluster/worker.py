@@ -33,6 +33,7 @@ from repro.cluster.messages import (
     BatchRequest,
     CutBroadcast,
     PersistReport,
+    ReplicaAck,
     RollbackCommand,
     RollbackDone,
     SealReport,
@@ -131,6 +132,10 @@ class DFasterWorker:
         #: Heartbeat period; the cluster manager detects a crash when
         #: heartbeats stop (§4.1's external failure detector).
         self.heartbeat_interval = 20e-3
+        #: Optional :class:`~repro.cluster.replication.ReplicationSource`
+        #: when this worker heads a primary/replica chain: "ok" replies
+        #: are then held until every replica acks the batch's log entry.
+        self.replication = None
 
         if not external_dispatch:
             env.process(self._dispatch_loop(), name=f"dispatch:{address}")
@@ -161,6 +166,9 @@ class DFasterWorker:
             elif isinstance(payload, RollbackCommand):
                 self.env.process(self._handle_rollback(payload),
                                  name=f"rollback:{self.address}")
+            elif isinstance(payload, ReplicaAck):
+                if self.replication is not None:
+                    self.replication.handle_ack(payload)
             # RollbackDone / reports are for services, not workers.
 
     def admit(self, request: BatchRequest) -> bool:
@@ -175,9 +183,12 @@ class DFasterWorker:
         cached = self._replies.get(key)
         if cached is not None:
             self.duplicate_batches += 1
-            reply_to, reply = cached
-            self.net.send(self.address, reply_to, reply,
-                          size_ops=request.op_count)
+            # A reply still held for replica acks must not leak out
+            # through the duplicate path either.
+            if self.replication is None or not self.replication.is_held(key):
+                reply_to, reply = cached
+                self.net.send(self.address, reply_to, reply,
+                              size_ops=request.op_count)
             return False
         if key in self._inflight:
             self.duplicate_batches += 1
@@ -253,7 +264,7 @@ class DFasterWorker:
         work_get = self.work.get
         batch_time = self.cost.server_batch_time
         execute = self._execute
-        send = self.net.send
+        send_reply = self._send_reply
         address = self.address
         while True:
             request: BatchRequest = yield work_get()
@@ -273,8 +284,24 @@ class DFasterWorker:
                             worker=address)
             reply = execute(request)
             self.batches_served += 1
-            send(address, request.reply_to, reply,
-                 size_ops=request.op_count)
+            send_reply(request, reply)
+
+    def _send_reply(self, request: BatchRequest, reply: BatchReply) -> None:
+        """Release a reply to the client — or hold it for replica acks.
+
+        When this worker heads a replication chain, an "ok" reply is
+        handed to the :class:`~repro.cluster.replication.ReplicationSource`,
+        which ships the batch to every replica and releases the reply
+        only once all of them ack it: no client ever learns of a write
+        a promoted replica could be missing.  Bounces and failures
+        carry no state and go straight out.
+        """
+        source = self.replication
+        if source is not None and reply.status == "ok":
+            source.hold_and_send(request, reply)
+        else:
+            self.net.send(self.address, request.reply_to, reply,
+                          size_ops=request.op_count)
 
     def _rcu_probability(self) -> float:
         engine = self.engine
@@ -438,6 +465,8 @@ class DFasterWorker:
         if self.dpr_enabled and self.finder_address:
             self.net.send(self.address, self.finder_address,
                           SealReport(descriptor), size_ops=1)
+        if self.replication is not None:
+            self.replication.log_seal(descriptor.token.version)
 
     def _flusher(self):
         """FIFO checkpoint flushes; durability reports to the finder."""
@@ -482,6 +511,8 @@ class DFasterWorker:
                         PersistReport(self.engine.object_id, version),
                         size_ops=1,
                     )
+                if self.replication is not None:
+                    self.replication.log_persist(version)
             elif env.tracer is not None:
                 # Rolled back while the flush was in flight.
                 env.tracer.cancel_span("worker.persist_lag", span_key)
@@ -508,8 +539,13 @@ class DFasterWorker:
         target = command.cut.version_of(self.engine.object_id)
         applied = command.world_line > self.engine.world_line.current
         if applied:
-            self.engine.restore(target, world_line=command.world_line)
+            restored = self.engine.restore(target,
+                                           world_line=command.world_line)
             self.cached_cut = command.cut
+            if self.replication is not None:
+                # Ship the version we actually landed on, not the cut
+                # target — replicas must restore to the identical one.
+                self.replication.log_rollback(command.world_line, restored)
         yield self.cost.rollback_window
         if applied and env.tracer is not None:
             env.tracer.span("worker.rollback", env.now,
@@ -549,6 +585,8 @@ class DFasterWorker:
         self._replies.clear()
         self._inflight.clear()
         self.device.fail()
+        if self.replication is not None:
+            self.replication.on_crash()
 
     def restart(self, cut: DprCut, world_line: int,
                 resume_version: int = 0) -> None:
@@ -557,9 +595,13 @@ class DFasterWorker:
         cut on the new world-line and rejoin the network."""
         self.device.repair()
         target = cut.version_of(self.engine.object_id)
-        self.engine.restore(target, world_line=world_line,
-                            resume_version=resume_version)
+        restored = self.engine.restore(target, world_line=world_line,
+                                       resume_version=resume_version)
         self.cached_cut = cut
+        if self.replication is not None:
+            # New stream epoch: the volatile log died with the process.
+            self.replication.on_restart(world_line, restored,
+                                        resume_version)
         self._missed_checkpoints = 0
         self._machine_busy = False
         self._flushing = False

@@ -106,6 +106,46 @@ ELASTIC_SCENARIO = textwrap.dedent(
 )
 
 
+REPLICATION_SCENARIO = textwrap.dedent(
+    """
+    import json
+
+    from repro.cluster import DFasterCluster, DFasterConfig
+    from repro.cluster.client import ReplicaReadClient
+
+    cluster = DFasterCluster(DFasterConfig(
+        n_workers=2, vcpus=2, n_client_machines=1, client_threads=2,
+        batch_size=32, checkpoint_interval=0.05, seed=99,
+        replication_factor=2))
+    reader = ReplicaReadClient(
+        cluster.env, cluster.net, "rclient", cluster.metadata,
+        [w.address for w in cluster.workers], rng=7)
+    cluster.replication.register_client(reader)
+    cluster.env.process(reader.run_closed_loop(batch_keys=4),
+                        name="reader")
+    cluster.schedule_crash(0, at_time=0.15)
+    stats = cluster.run(0.4, warmup=0.05)
+    chains = sorted(
+        (primary, replica_id, applied, durable)
+        for primary in ("worker-0", "worker-1")
+        for replica_id, applied, durable
+        in cluster.metadata.replicas_of(primary))
+    summary = {
+        "committed": sum(c.total_committed() for c in cluster.clients),
+        "promotions": cluster.manager.promotions,
+        "world_line": cluster.manager.controller.world_line,
+        "reads": reader.reads_completed,
+        "behind": reader.behind_bounces,
+        "failed_reads": reader.reads_failed,
+        "chains": chains,
+        "cut": str(cluster.finder.current_cut()),
+        "completed": stats.completed.series(0.05),
+    }
+    print(json.dumps(summary, sort_keys=True))
+    """
+)
+
+
 def run_with_hashseed(seed, scenario=SCENARIO):
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = str(seed)
@@ -154,3 +194,21 @@ def test_elastic_run_identical_across_hash_seeds():
     summary = json.loads(first)
     assert summary["committed"] > 0
     assert summary["migrations"] > 0
+
+
+def test_replicated_run_identical_across_hash_seeds():
+    """Replication chains, the promotion election, and recoverable-
+    prefix read routing all sit on the protocol's hot path; a crash
+    that resolves via promotion must leave a byte-identical fingerprint
+    (including every replica's published watermarks) across interpreter
+    hash seeds."""
+    first = run_with_hashseed(1, REPLICATION_SCENARIO)
+    second = run_with_hashseed(777, REPLICATION_SCENARIO)
+    assert first == second
+    summary = json.loads(first)
+    assert summary["committed"] > 0
+    assert summary["reads"] > 0
+    assert summary["failed_reads"] == 0
+    # The crash resolved via promotion: the world-line never bumped.
+    assert len(summary["promotions"]) == 1
+    assert summary["world_line"] == 0

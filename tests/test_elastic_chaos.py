@@ -144,3 +144,132 @@ class TestMigrationUnderChaos:
             if entry["last_seqno"] <= error.survived_seqno:
                 assert entry["version"] <= cut.version_of(entry["object_id"])
         assert all(seqno > error.survived_seqno for seqno in error.lost)
+
+
+class TestPromotionUnderChaos:
+    """The replication tentpole inside the fault model: an owner crash
+    lands mid-batch while the links drop, duplicate and reorder — the
+    most hostile window for the promotion decision and for the stale
+    messages that survive it."""
+
+    def _rig(self, plan, seed=4321, replication_factor=1):
+        from repro.cluster.client import ReplicaReadClient
+        cluster = DFasterCluster(DFasterConfig(
+            n_workers=2, vcpus=2, n_client_machines=0,
+            engine="faster", checkpoint_interval=0.05, seed=seed,
+            faults=plan, replication_factor=replication_factor))
+        elastic = cluster.enable_elasticity(partition_count=8,
+                                            lease_duration=0.5)
+        client = PartitionedClient(cluster.env, cluster.net, "pclient",
+                                   cluster.metadata, elastic)
+        reader = ReplicaReadClient(cluster.env, cluster.net, "rclient",
+                                   cluster.metadata,
+                                   [w.address for w in cluster.workers],
+                                   rng=31)
+        cluster.replication.register_client(client)
+        cluster.replication.register_client(reader)
+        return cluster, client, reader
+
+    def _writer(self, cluster, client, log):
+        def run():
+            n = 0
+            while True:
+                key = "chaos-%d" % (n % 8)
+                try:
+                    yield from client.request(key, [("set", key, n)], 1)
+                    log.append(("ok", n, cluster.env.now))
+                except RollbackError as error:
+                    log.append(("rolled_back", error, cluster.env.now))
+                    client.session.acknowledge_rollback()
+                n += 1
+        return run
+
+    def test_owner_crash_mid_batch_promotes_with_zero_bump(self):
+        plan = FaultPlan(606, links=[
+            LinkFault(drop=0.02, duplicate=0.05, reorder=0.1),
+        ])
+        cluster, client, reader = self._rig(plan)
+        log = []
+        cluster.env.process(self._writer(cluster, client, log)())
+        cluster.env.process(reader.run_closed_loop(batch_keys=4))
+        cluster.schedule_crash(0, at_time=0.4)
+        cluster.env.run(until=2.0)
+        assert plan.injected["dropped"] > 0
+        assert plan.injected["duplicated"] > 0
+        # The caught-up replica took over: zero world-line bump, no
+        # session ever observed a rollback, writes kept flowing.
+        [promotion] = cluster.manager.promotions
+        assert promotion["world_line"] == 0
+        assert cluster.manager.controller.world_line == 0
+        assert not [entry for entry in log if entry[0] == "rolled_back"]
+        post_crash = [entry for entry in log
+                      if entry[0] == "ok" and entry[2] > 1.0]
+        assert post_crash
+        assert reader.reads_failed == 0
+
+    def test_lagging_replica_forces_rollback_fallback(self):
+        plan = FaultPlan(606, links=[
+            LinkFault(drop=0.02, duplicate=0.05, reorder=0.1),
+        ])
+        cluster, client, reader = self._rig(plan)
+        log = []
+        node = cluster.replication.chains["worker-0"][0]
+
+        def lag():
+            # Pause right before the crash so the replica's applied
+            # watermark misses the required cut, then resume well after
+            # the restart: the buffered tail plus the new epoch's reset
+            # entry bring it back in sync on the new world-line.
+            yield 0.35
+            node.apply_paused = True
+            yield 0.45
+            node.resume_apply()
+
+        cluster.env.process(self._writer(cluster, client, log)())
+        cluster.env.process(lag())
+        cluster.schedule_crash(0, at_time=0.4)
+        cluster.env.run(until=2.0)
+        # No qualified replica: the §4.1 fallback ran unchanged.
+        assert cluster.manager.promotions == []
+        assert cluster.manager.promotion_fallbacks == 1
+        assert cluster.manager.controller.world_line == 1
+        assert cluster.manager.recoveries[-1]["finished_at"] is not None
+        # The resumed replica followed the epoch reset onto the new
+        # world-line instead of going stale.
+        assert not node.stale
+        assert node.engine.world_line.current == 1
+        # The restarted owner serves again on the new world-line.
+        post_crash = [entry for entry in log
+                      if entry[0] == "ok" and entry[2] > 1.2]
+        assert post_crash
+
+    def test_worldline_bump_after_promotion_reaches_promoted_node(self):
+        """The heartbeat-monitor/promotion race, run to the end: after
+        the promoted replica replaces the dead owner in the membership
+        list, a later world-line bump must deliver its RollbackCommand
+        to the *promoted* address (not wedge retransmitting to the dead
+        one) and the promoted engine must land on the new world-line."""
+        plan = FaultPlan(606, links=[
+            LinkFault(drop=0.02, duplicate=0.05, reorder=0.1),
+        ])
+        cluster, client, reader = self._rig(plan)
+        log = []
+        cluster.env.process(self._writer(cluster, client, log)())
+        cluster.env.process(reader.run_closed_loop(batch_keys=4))
+        cluster.schedule_crash(0, at_time=0.4)
+        cluster.schedule_failure(1.0)
+        cluster.env.run(until=2.5)
+        [promotion] = cluster.manager.promotions
+        promoted = cluster.manager.worker_registry[promotion["promoted"]]
+        # The post-promotion recovery completed: nobody waited forever
+        # on the decommissioned address, and the promoted node followed
+        # the bump like any other member.
+        assert cluster.manager.controller.world_line == 1
+        assert cluster.manager.recoveries[-1]["finished_at"] is not None
+        assert promoted.engine.world_line.current == 1
+        for worker in cluster.manager.worker_registry.values():
+            assert worker.engine.world_line.current == 1
+        # Serving resumed after the second recovery too.
+        post_bump = [entry for entry in log
+                     if entry[0] == "ok" and entry[2] > 1.5]
+        assert post_bump
