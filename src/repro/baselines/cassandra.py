@@ -82,7 +82,7 @@ class CassandraNode:
 
     def _dispatch(self):
         while True:
-            message = yield self.endpoint.inbox.get()
+            message = yield self.endpoint.inbox  # channel wait, no get() Event
             self.work.put(message.payload)
 
     def _thread(self):
@@ -92,7 +92,7 @@ class CassandraNode:
         if config.commitlog is CommitLogMode.GROUP:
             per_op *= config.group_op_penalty
         while True:
-            request: BatchRequest = yield self.work.get()
+            request: BatchRequest = yield self.work  # channel wait
             yield request.op_count * per_op
             self.ops_served += request.op_count
             reply = BatchReply(

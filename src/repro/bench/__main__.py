@@ -14,9 +14,17 @@ Usage::
 wall-clock breakdown plus the hottest functions, and writes the raw
 profile (pstats format) to ``--profile-out`` for ``snakeviz``/``pstats``
 offline digging — see ``docs/PERFORMANCE.md`` for the workflow.
+cProfile's tracing hook inflates the array core's wall clock by ~2.5x
+(the hot loop is many tiny Python calls, the worst case for per-call
+tracing overhead), so profiled numbers are only comparable to each
+other, never to budgets.
 ``--budget`` turns the run into a wall-clock regression gate: CI runs
 the fig10 smoke configuration under the budget recorded in
 ``docs/PERFORMANCE.md`` and fails the build when it blows through.
+Budgets gate *unprofiled* time — combining ``--budget`` with
+``--profile`` is rejected, because a ~2.5x-inflated measurement would
+fail any honest budget; wallclock_probe deltas from an unprofiled run
+are the budget source of truth.
 
 The pytest benchmarks in ``benchmarks/`` remain the source of truth for
 shape assertions; this entry point is for quick interactive sweeps and
@@ -112,6 +120,12 @@ def main(argv=None) -> int:
                             args.tolerance)
     if args.figure is None:
         parser.error("a figure name (or --compare) is required")
+    if args.profile and args.budget is not None:
+        parser.error(
+            "--budget cannot be combined with --profile: cProfile "
+            "inflates the kernel's wall clock ~2.5x, so a profiled "
+            "measurement would fail any honest budget.  Gate on an "
+            "unprofiled run (see docs/PERFORMANCE.md).")
 
     json_dir = None if args.json_dir is None else Path(args.json_dir)
     figures = list(FIGURES) if args.figure == "all" else [args.figure]
@@ -163,11 +177,15 @@ def _report_profile(profiler: cProfile.Profile, out_path: str,
 
     ``stamps`` is the wallclock_probe log: one (label, perf_counter)
     pair per finished experiment, from which consecutive differences
-    give each sweep point's real cost (cProfile roughly doubles every
-    number; the deltas are still comparable to each other).
+    give each sweep point's real cost.  cProfile inflates every delta
+    ~2.5x on the array core (measured: 41.9s profiled vs 17.1s real for
+    a full fig10 sweep); the deltas are still comparable to *each
+    other*, which is what attributing a sweep's cost to its points
+    needs — they are never comparable to budgets.
     """
     if stamps:
-        print("\nper-experiment wall-clock (profiled, so inflated):")
+        print("\nper-experiment wall-clock "
+              "(profiled: ~2.5x inflated, compare only within this run):")
         previous = started
         for label, stamp in stamps:
             print(f"  {stamp - previous:8.2f}s  {label}")

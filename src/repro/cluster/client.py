@@ -298,7 +298,9 @@ class ClientMachine:
             self.sessions[session_id] = session
             env.process(self._issue_loop(session, spawn(self._rng, session_id)),
                         name=f"client:{session_id}")
-        env.process(self._receive_loop(), name=f"client-rx:{address}")
+        # Sink mode: reply handling never yields, so the receive side is
+        # a plain per-message handler instead of a parked generator.
+        self.endpoint.inbox.set_handler(self._on_reply)
         env.process(self._timeout_sweeper(), name=f"client-to:{address}")
 
     # -- issuing -------------------------------------------------------------
@@ -363,44 +365,43 @@ class ClientMachine:
 
     # -- receiving ---------------------------------------------------------------
 
-    def _receive_loop(self):
+    def _on_reply(self, message):
+        """Inbox sink handler: fold one reply into its session."""
         env = self.env
-        while True:
-            message = yield self.endpoint.inbox.get()
-            reply: BatchReply = message.payload
-            session = self.sessions.get(reply.session_id)
-            if session is None:
-                continue
-            if reply.status == "rolled_back":
-                session.handle_rollback(reply.world_line, reply.cut, env.now,
-                                        self.recovery_pause)
-            elif reply.status == "not_owner":
-                # Bounced off a stale owner mapping (§5.3): the ops
-                # never ran, so forget the batch, invalidate the cached
-                # entry, and let the issue loop re-resolve the owner.
-                session.drop(reply.batch_id)
-                self.not_owner_bounces += 1
-                if reply.partition is not None:
-                    self._owner_cache.pop(reply.partition, None)
-                session.paused_until = max(session.paused_until,
-                                           env.now + self.retry_delay)
-            elif reply.status == "retry":
-                session.drop(reply.batch_id)
-                # Exponential backoff with seeded jitter: repeated
-                # RETRYs mean the worker is still recovering, and a
-                # fleet of sessions hammering it in lockstep only
-                # prolongs that.  Jitter in [backoff/2, backoff]
-                # de-synchronizes the herd without unbounded waits.
-                exponent = min(session.retry_attempts, 6)
-                session.retry_attempts += 1
-                backoff = min(self.retry_delay * (2 ** exponent),
-                              self.retry_backoff_cap)
-                backoff *= 0.5 + 0.5 * self._rng.random()
-                session.paused_until = max(session.paused_until,
-                                           env.now + backoff)
-            else:
-                session.complete(reply, env.now)
-            self._wake(reply.session_id)
+        reply: BatchReply = message.payload
+        session = self.sessions.get(reply.session_id)
+        if session is None:
+            return
+        if reply.status == "rolled_back":
+            session.handle_rollback(reply.world_line, reply.cut, env.now,
+                                    self.recovery_pause)
+        elif reply.status == "not_owner":
+            # Bounced off a stale owner mapping (§5.3): the ops
+            # never ran, so forget the batch, invalidate the cached
+            # entry, and let the issue loop re-resolve the owner.
+            session.drop(reply.batch_id)
+            self.not_owner_bounces += 1
+            if reply.partition is not None:
+                self._owner_cache.pop(reply.partition, None)
+            session.paused_until = max(session.paused_until,
+                                       env.now + self.retry_delay)
+        elif reply.status == "retry":
+            session.drop(reply.batch_id)
+            # Exponential backoff with seeded jitter: repeated
+            # RETRYs mean the worker is still recovering, and a
+            # fleet of sessions hammering it in lockstep only
+            # prolongs that.  Jitter in [backoff/2, backoff]
+            # de-synchronizes the herd without unbounded waits.
+            exponent = min(session.retry_attempts, 6)
+            session.retry_attempts += 1
+            backoff = min(self.retry_delay * (2 ** exponent),
+                          self.retry_backoff_cap)
+            backoff *= 0.5 + 0.5 * self._rng.random()
+            session.paused_until = max(session.paused_until,
+                                       env.now + backoff)
+        else:
+            session.complete(reply, env.now)
+        self._wake(reply.session_id)
 
     def _timeout_sweeper(self):
         """Abandon batches stuck on a crashed worker (broken-pipe analog)."""
@@ -598,7 +599,7 @@ class ReplicaReadClient:
                          name=f"read-watchdog:{self.address}/{read_id}")
         try:
             while True:
-                message = yield self.endpoint.inbox.get()
+                message = yield self.endpoint.inbox  # channel wait
                 payload = message.payload
                 if isinstance(payload, _ReadGiveUp):
                     if payload.read_id == read_id:

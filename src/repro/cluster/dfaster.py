@@ -395,7 +395,7 @@ class _ColocatedDriver:
         worker = self.worker
         inbox = worker.endpoint.inbox
         while True:
-            message = yield inbox.get()
+            message = yield inbox  # channel wait, no get() Event
             payload = message.payload
             if isinstance(payload, BatchReply):
                 session = self.sessions.get(payload.session_id)

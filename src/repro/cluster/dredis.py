@@ -115,7 +115,7 @@ class _RedisInstance:
         cost = self.cluster.config.cost
         aof = self.cluster.config.aof
         while True:
-            request, respond = yield self.queue.get()
+            request, respond = yield self.queue  # channel wait, no get() Event
             if request == "BGSAVE":
                 # The exclusive-latch window (§6): command stream pauses.
                 yield cost.bgsave_pause
@@ -225,7 +225,7 @@ class _DRedisProxy:
         env = self.env
         cost = self.cluster.config.cost
         while True:
-            message = yield self.endpoint.inbox.get()
+            message = yield self.endpoint.inbox  # channel wait, no get() Event
             payload = message.payload
             if isinstance(payload, CutBroadcast):
                 self.cached_cut = payload.cut
@@ -319,7 +319,7 @@ class _DRedisProxy:
         env = self.env
         cost = self.cluster.config.cost
         while True:
-            request: BatchRequest = yield self._egress.get()
+            request: BatchRequest = yield self._egress  # channel wait
             yield cost.proxy_time(request.op_count, dpr=self.dpr)
             version = 0
             world_line = 0
@@ -589,7 +589,7 @@ class DRedisCluster:
     def _plain_frontend(self, redis: _RedisInstance, endpoint):
         """PLAIN mode: the Redis instance reads its own socket."""
         while True:
-            message = yield endpoint.inbox.get()
+            message = yield endpoint.inbox  # channel wait, no get() Event
             request: BatchRequest = message.payload
 
             def respond(_request, request=request, endpoint=endpoint):

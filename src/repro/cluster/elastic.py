@@ -550,7 +550,7 @@ class PartitionedClient:
                         name=f"pclient-retx:{self.address}")
         try:
             while True:
-                message = yield self.endpoint.inbox.get()
+                message = yield self.endpoint.inbox  # channel wait
                 payload = message.payload
                 if isinstance(payload, _GiveUp):
                     if payload.batch_id == request.batch_id:

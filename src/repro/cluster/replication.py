@@ -337,32 +337,31 @@ class ReplicaNode(DFasterWorker):
 
     # -- dispatch --------------------------------------------------------
 
-    def _dispatch_loop(self):
-        """Replica dispatch: replication stream first, worker duty
-        (batches, cuts, rollbacks) only once promoted."""
-        while True:
-            message = yield self.endpoint.inbox.get()
-            payload = message.payload
-            if isinstance(payload, ReplicaAppend):
-                self._handle_append(payload)
-            elif isinstance(payload, ReplicaDurable):
-                self._handle_durable(payload)
-            elif isinstance(payload, ReplicaReadRequest):
-                self.read_work.put(payload)
-            elif isinstance(payload, BatchRequest):
-                if self.promoted:
-                    if self.admit(payload):
-                        self.work.put(payload)
-                else:
-                    self._bounce_standby(payload)
-            elif isinstance(payload, CutBroadcast):
-                self.cached_cut = payload.cut
-                self.cached_max_version = payload.max_version
-            elif isinstance(payload, RollbackCommand):
-                if self.promoted:
-                    self.env.process(
-                        self._handle_rollback(payload),
-                        name=f"rollback:{self.address}@{payload.world_line}")
+    def _dispatch(self, message):
+        """Replica dispatch (sink handler, overriding the worker's):
+        replication stream first, worker duty (batches, cuts,
+        rollbacks) only once promoted."""
+        payload = message.payload
+        if isinstance(payload, ReplicaAppend):
+            self._handle_append(payload)
+        elif isinstance(payload, ReplicaDurable):
+            self._handle_durable(payload)
+        elif isinstance(payload, ReplicaReadRequest):
+            self.read_work.put(payload)
+        elif isinstance(payload, BatchRequest):
+            if self.promoted:
+                if self.admit(payload):
+                    self.work.put(payload)
+            else:
+                self._bounce_standby(payload)
+        elif isinstance(payload, CutBroadcast):
+            self.cached_cut = payload.cut
+            self.cached_max_version = payload.max_version
+        elif isinstance(payload, RollbackCommand):
+            if self.promoted:
+                self.env.process(
+                    self._handle_rollback(payload),
+                    name=f"rollback:{self.address}@{payload.world_line}")
 
     def _bounce_standby(self, request: BatchRequest) -> None:
         """A write reached a standby (stale client cache): bounce it."""
@@ -596,7 +595,7 @@ class ReplicaNode(DFasterWorker):
     def _read_server(self, thread_id: int):
         """Serve GET batches from durable snapshots (never live state)."""
         while self.running:
-            request = yield self.read_work.get()
+            request = yield self.read_work
             if not self.running or self.crashed:
                 continue
             yield self.cost.server_batch_time(

@@ -97,31 +97,31 @@ class FinderService:
         self.stale_seals = 0
         for worker in self.workers:
             finder.register_object(worker)
-        env.process(self._receive_loop(), name=f"finder-rx:{address}")
+        # Sink mode: report absorption never yields (see docs/KERNEL.md).
+        self.endpoint.inbox.set_handler(self._on_report)
         env.process(self._tick_loop(), name=f"finder-tick:{address}")
 
-    def _receive_loop(self):
-        while True:
-            message = yield self.endpoint.inbox.get()
-            payload = message.payload
-            if isinstance(payload, SealReport):
-                token = payload.descriptor.token
-                if token.version <= self._seal_floor.get(token.object_id, 0):
-                    self.stale_seals += 1  # duplicate or reordered-stale
-                    continue
-                self._seal_floor[token.object_id] = token.version
-                self.finder.report_seal(payload.descriptor)
-            elif isinstance(payload, PersistReport):
-                self.finder.report_persisted(
-                    Token(payload.object_id, payload.version)
-                )
-                if self.env.tracer is not None:
-                    # Durability is reported; the version now waits for
-                    # the cut to advance past it (closed in _tick_loop).
-                    self.env.tracer.begin_span(
-                        "dpr.cut_lag",
-                        (payload.object_id, payload.version),
-                        self.env.now)
+    def _on_report(self, message):
+        """Inbox sink handler: absorb one seal/persist report."""
+        payload = message.payload
+        if isinstance(payload, SealReport):
+            token = payload.descriptor.token
+            if token.version <= self._seal_floor.get(token.object_id, 0):
+                self.stale_seals += 1  # duplicate or reordered-stale
+                return
+            self._seal_floor[token.object_id] = token.version
+            self.finder.report_seal(payload.descriptor)
+        elif isinstance(payload, PersistReport):
+            self.finder.report_persisted(
+                Token(payload.object_id, payload.version)
+            )
+            if self.env.tracer is not None:
+                # Durability is reported; the version now waits for
+                # the cut to advance past it (closed in _tick_loop).
+                self.env.tracer.begin_span(
+                    "dpr.cut_lag",
+                    (payload.object_id, payload.version),
+                    self.env.now)
 
     def _tick_loop(self):
         env = self.env
@@ -240,7 +240,7 @@ class ClusterManager:
         self.promotion_fallbacks = 0
         #: Per-primary election epoch counter for the metadata CAS.
         self._election_epochs: Dict[str, int] = {}
-        env.process(self._receive_loop(), name=f"manager-rx:{address}")
+        self.endpoint.inbox.set_handler(self._on_message)
         env.process(self._monitor_loop(), name=f"manager-mon:{address}")
 
     # -- failure injection -------------------------------------------------
@@ -488,19 +488,18 @@ class ClusterManager:
         for world_line in sorted(self._pending):
             self._absorb_rollback_done(RollbackDone(worker_id, world_line))
 
-    def _receive_loop(self):
-        while True:
-            message = yield self.endpoint.inbox.get()
-            payload = message.payload
-            if isinstance(payload, Heartbeat):
-                # A straggler heartbeat from a decommissioned (or
-                # promoted-away) address must not resurrect its clock
-                # entry — membership is the workers list, not whoever
-                # still has packets in flight.
-                if payload.worker_id in self.workers:
-                    self._last_heartbeat[payload.worker_id] = self.env.now
-            elif isinstance(payload, RollbackDone):
-                self._absorb_rollback_done(payload)
+    def _on_message(self, message):
+        """Inbox sink handler: absorb one heartbeat or rollback ack."""
+        payload = message.payload
+        if isinstance(payload, Heartbeat):
+            # A straggler heartbeat from a decommissioned (or
+            # promoted-away) address must not resurrect its clock
+            # entry — membership is the workers list, not whoever
+            # still has packets in flight.
+            if payload.worker_id in self.workers:
+                self._last_heartbeat[payload.worker_id] = self.env.now
+        elif isinstance(payload, RollbackDone):
+            self._absorb_rollback_done(payload)
 
     def _absorb_rollback_done(self, payload: RollbackDone) -> None:
         pending = self._pending.get(payload.world_line)

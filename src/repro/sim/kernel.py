@@ -1,21 +1,68 @@
 """A small deterministic discrete-event simulation kernel.
 
 The kernel follows the familiar generator-based process model (as
-popularised by SimPy): a *process* is a Python generator that yields
-:class:`Event` objects and is resumed when those events fire.  Simulated
-time only advances between events, so a multi-second distributed experiment
-runs in milliseconds of wall-clock time and is exactly reproducible.
+popularised by SimPy) at the API surface: a *process* is a Python
+generator that yields waitables and is resumed when they fire.
+Simulated time only advances between events, so a multi-second
+distributed experiment runs in milliseconds of wall-clock time and is
+exactly reproducible.
 
-Only the features the reproduction needs are implemented: one-shot events,
-timeouts, process-join, ``AllOf``/``AnyOf`` combinators and interrupts.
-Ties in the event heap are broken by insertion order, which makes every
-run deterministic for a fixed seed.
+Internally the event core is **array-structured** (see
+``docs/KERNEL.md`` for the guided tour): the pending-event heap holds
+``(when, sequence, handle)`` triples where ``handle`` is an integer
+index into four parallel lists — kind tag plus up to three payload
+slots — and a free-list recycles handles as events dispatch.  The
+dominant event populations (network deliveries via
+:meth:`Environment.call_later`, number-sleeps, queue hand-offs) never
+allocate an :class:`Event` at all; the run loop dispatches on the kind
+tag and runs their fast paths inline.  Generator processes and the full
+:class:`Event` machinery (combinators, joins, interrupts) remain as the
+slow-path escape hatch behind the ``_K_EVENT`` kind tag.
+
+Every fast path consumes exactly one sequence number and one heap slot,
+the same as the Event-based form it replaces, so switching a call site
+between forms never perturbs event ordering — the determinism rule all
+optimization work in this repo lives by (``docs/PERFORMANCE.md``).
+
+Only the features the reproduction needs are implemented: one-shot
+events, timeouts, process-join, ``AllOf``/``AnyOf`` combinators,
+interrupts, and the :class:`Channel` wait protocol used by
+:mod:`repro.sim.queues`.  Ties in the event heap are broken by
+insertion order, which makes every run deterministic for a fixed seed.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
+
+# -- event-kind tags --------------------------------------------------------
+#
+# One small-int tag per heap-entry flavour, ordered roughly by dispatch
+# frequency in a cluster benchmark.  Payload slot usage per kind:
+#
+#   kind       a            b            c        dispatch
+#   _K_CALL    fn           arg          -        fn(arg)
+#   _K_RESUME  process      channel      value    resume process with value
+#                                                 (guarded: still waiting
+#                                                 on that channel)
+#   _K_SLEEP   process      epoch        -        wake a number-sleep
+#                                                 (guarded: epoch match)
+#   _K_SINK    channel      item         -        channel handler + pump
+#   _K_THROW   process      channel      exc      throw exc into process
+#                                                 (guarded like _K_RESUME)
+#   _K_EVENT   event        -            -        generic Event trigger
+#                                                 (slow path: callbacks)
+
+_K_CALL = 0
+_K_RESUME = 1
+_K_SLEEP = 2
+_K_SINK = 3
+_K_THROW = 4
+_K_EVENT = 5
+
+#: Human-readable kind names, indexable by tag (docs/diagnostics).
+KIND_NAMES = ("call", "resume", "sleep", "sink", "throw", "event")
 
 
 class SimulationError(RuntimeError):
@@ -40,9 +87,17 @@ class Event:
     An event starts *pending*; it fires at most once via :meth:`succeed`
     or :meth:`fail`.  Processes waiting on it are scheduled to resume at
     the simulation time of the trigger.
+
+    Events are the kernel's *slow path*: a triggered event occupies one
+    ``_K_EVENT`` handle in the array core and runs its callback list
+    when dispatched.  Hot call sites (deliveries, sleeps, queue
+    hand-offs) use the Event-free kinds instead.
     """
 
     __slots__ = ("env", "_value", "_ok", "_triggered", "_callbacks", "_name")
+
+    #: Class tag for the yield dispatcher: channels override to True.
+    _sim_channel = False
 
     def __init__(self, env: "Environment", name: str = ""):
         self.env = env
@@ -75,12 +130,23 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        # Inlined env._schedule_trigger: succeed() fires once per queue
-        # hand-off and once per process step, so the extra call frames
+        # Inlined handle allocation: succeed() fires once per process
+        # step and per slow-path hand-off, so the extra call frames
         # were measurable.
         env = self.env
         env._sequence += 1
-        heapq.heappush(env._heap, (env._now, env._sequence, self))
+        free = env._free
+        if free:
+            handle = free.pop()
+            env._ev_kind[handle] = _K_EVENT
+            env._ev_a[handle] = self
+        else:
+            handle = len(env._ev_kind)
+            env._ev_kind.append(_K_EVENT)
+            env._ev_a.append(self)
+            env._ev_b.append(None)
+            env._ev_c.append(None)
+        heapq.heappush(env._heap, (env._now, env._sequence, handle))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -94,7 +160,18 @@ class Event:
         self._value = exception
         env = self.env
         env._sequence += 1
-        heapq.heappush(env._heap, (env._now, env._sequence, self))
+        free = env._free
+        if free:
+            handle = free.pop()
+            env._ev_kind[handle] = _K_EVENT
+            env._ev_a[handle] = self
+        else:
+            handle = len(env._ev_kind)
+            env._ev_kind.append(_K_EVENT)
+            env._ev_a.append(self)
+            env._ev_b.append(None)
+            env._ev_c.append(None)
+        heapq.heappush(env._heap, (env._now, env._sequence, handle))
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -115,11 +192,13 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically after a fixed delay.
 
-    Timeouts dominate the event population of a cluster run (every
-    service time, network delivery, and backoff is one), so the
-    constructor is written flat: no ``super().__init__`` chain and no
-    per-instance name formatting — profiling showed the f-string alone
-    cost more than the heap push.
+    Only constructed when the caller needs a waitable handle (e.g. to
+    pass to :class:`AnyOf`); fire-and-forget delays use
+    :meth:`Environment.call_later` and plain ``yield delay`` sleeps use
+    the ``_K_SLEEP`` fast path, neither of which allocates an Event.
+    The constructor is written flat (no ``super().__init__`` chain, no
+    per-instance name formatting) because timeouts still dominate the
+    Event-slow-path population.
     """
 
     __slots__ = ("delay",)
@@ -134,21 +213,289 @@ class Timeout(Event):
         self._callbacks = []
         self._name = "timeout"
         self.delay = delay
-        # The trigger is deferred: the environment marks the timeout as
-        # triggered when it pops it from the heap at ``now + delay``.
+        # The trigger is deferred: the run loop marks the timeout as
+        # triggered when its handle pops at ``now + delay``.
         env._sequence += 1
-        heapq.heappush(env._heap, (env._now + delay, env._sequence, self))
+        free = env._free
+        if free:
+            handle = free.pop()
+            env._ev_kind[handle] = _K_EVENT
+            env._ev_a[handle] = self
+        else:
+            handle = len(env._ev_kind)
+            env._ev_kind.append(_K_EVENT)
+            env._ev_a.append(self)
+            env._ev_b.append(None)
+            env._ev_c.append(None)
+        heapq.heappush(env._heap, (env._now + delay, env._sequence, handle))
 
 
-# The timeout fast path schedules a bare ``(fn, arg)`` tuple in the
-# heap slot an Event would occupy: for fire-and-forget delays (network
-# deliveries, process sleeps) the full Event machinery — instance,
-# callback list, triggered bookkeeping — is pure overhead, and even a
-# tiny wrapper class would pay a Python-level ``__init__`` frame per
-# delivery.  The run loop recognizes the tuple and invokes ``fn(arg)``.
-# A deferred call occupies exactly one heap slot and one sequence
-# number, the same as the Timeout it replaces, so event ordering and
-# the dispatched-event count are unchanged.
+class Channel:
+    """Base class for waitable FIFO channels (``yield channel``).
+
+    The kernel's side of the channel wait protocol:
+    :mod:`repro.sim.queues` subclasses this with the user-facing API.
+    A process that yields a channel either consumes an item immediately
+    (scheduling its own ``_K_RESUME`` at the current time — exactly one
+    sequence number, mirroring the Event-based ``get()`` form) or parks
+    itself on ``_waiters`` until a producer hands it an item.
+
+    ``_waiters`` may also hold plain :class:`Event` getters created by
+    the legacy ``Queue.get()`` API; producers discriminate by class, so
+    the two wait styles share one FIFO order.
+
+    A channel with a ``_handler`` installed is a *sink*: items are
+    dispatched to the handler function via ``_K_SINK`` entries instead
+    of waking a consumer process (see ``docs/KERNEL.md``).
+    """
+
+    __slots__ = ("env", "_items", "_waiters", "_closed", "_handler",
+                 "_pumping")
+
+    _sim_channel = True
+
+    def _closed_error(self) -> BaseException:
+        """The exception thrown into waiters when the channel closes."""
+        raise NotImplementedError  # pragma: no cover - subclass duty
+
+
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class Process(Event):
+    """A running simulation process.
+
+    A process wraps a generator; each yielded waitable — an
+    :class:`Event`, a :class:`Channel`, or a plain number (sleep) —
+    suspends the process until it fires.  The process itself is an
+    event that fires with the generator's return value, so other
+    processes can join on it by yielding it.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "_interrupts", "_sleep_epoch")
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator, name: str = ""):
+        super().__init__(env, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Optional[Any] = None
+        self._interrupts: List[Interrupt] = []
+        #: Invalidates in-flight sleep wake-ups after an interrupt/re-sleep.
+        self._sleep_epoch = 0
+        # Kick the process off at the current simulation time.
+        start = Event(env, name=f"start:{self._name}")
+        start.add_callback(self._resume)
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op, mirroring SimPy.
+        """
+        if self._triggered:
+            return
+        self._interrupts.append(Interrupt(cause))
+        waiting = self._waiting_on
+        if waiting is not None:
+            self._waiting_on = None
+            if waiting._sim_channel:
+                # Detach from the channel's waiter queue so a later
+                # put() cannot hand an item to the interrupted process
+                # (the in-flight _K_RESUME guard covers the case where
+                # the hand-off was already scheduled).
+                try:
+                    waiting._waiters.remove(self)
+                except ValueError:
+                    pass
+            # Detach: when the original waitable fires later, ignore it.
+            poke = Event(self.env, name=f"interrupt:{self._name}")
+            poke.add_callback(self._resume)
+            poke.succeed()
+
+    # -- resumption -----------------------------------------------------
+    #
+    # Three entry points share the yielded-target handling:
+    #   _resume(event)       - Event-callback slow path (start, pokes,
+    #                          joins, combinators, legacy get())
+    #   _resume_value(value)  - hot path, called by the run loop for
+    #                          _K_RESUME and _K_SLEEP dispatches
+    #   _resume_throw(exc)    - failure path (_K_THROW, failed events,
+    #                          interrupts)
+    #
+    # _resume_value inlines the number-sleep and channel-wait branches
+    # (the two dominant yields in a cluster run) and only the rarer
+    # Event yield goes through _wait_event.
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        if self._interrupts:
+            self._resume_throw(self._interrupts.pop(0))
+        elif event._ok:
+            self._resume_value(event._value)
+        else:
+            self._resume_throw(event._value)
+
+    def _resume_value(self, value: Any) -> None:
+        if self._triggered:
+            return
+        if self._interrupts:
+            self._resume_throw(self._interrupts.pop(0))
+            return
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into joiners
+            if self.env.strict:
+                raise
+            self.fail(exc)
+            return
+        cls = target.__class__
+        if cls is float or cls is int:
+            # Sleep fast path: ``yield delay`` behaves exactly like
+            # ``yield env.timeout(delay)`` — one heap slot, the same
+            # sequence number the Timeout would have drawn — without
+            # allocating an Event.  ``_waiting_on = self`` is a non-None
+            # marker so interrupt() still pokes the sleeper; the epoch
+            # invalidates the stale wake-up afterwards.
+            if target < 0:
+                raise ValueError(f"negative timeout delay: {target}")
+            epoch = self._sleep_epoch + 1
+            self._sleep_epoch = epoch
+            self._waiting_on = self
+            env = self.env
+            env._sequence += 1
+            free = env._free
+            if free:
+                handle = free.pop()
+                env._ev_kind[handle] = _K_SLEEP
+                env._ev_a[handle] = self
+                env._ev_b[handle] = epoch
+            else:
+                handle = len(env._ev_kind)
+                env._ev_kind.append(_K_SLEEP)
+                env._ev_a.append(self)
+                env._ev_b.append(epoch)
+                env._ev_c.append(None)
+            heapq.heappush(env._heap,
+                           (env._now + target, env._sequence, handle))
+            return
+        try:
+            is_channel = target._sim_channel
+        except AttributeError:
+            raise SimulationError(
+                f"process {self._name!r} yielded {target!r}, "
+                f"expected an Event, a Channel, or a number"
+            ) from None
+        if is_channel:
+            # Channel wait fast path: mirrors ``yield queue.get()``
+            # exactly — an available item schedules the resume at the
+            # current time for one sequence number (the one the get()
+            # Event's succeed() would have drawn); an empty channel
+            # parks the process with no sequence number consumed.
+            self._waiting_on = target
+            items = target._items
+            if items:
+                value = items.popleft()
+                env = self.env
+                env._sequence += 1
+                free = env._free
+                if free:
+                    handle = free.pop()
+                    env._ev_kind[handle] = _K_RESUME
+                    env._ev_a[handle] = self
+                    env._ev_b[handle] = target
+                    env._ev_c[handle] = value
+                else:
+                    handle = len(env._ev_kind)
+                    env._ev_kind.append(_K_RESUME)
+                    env._ev_a.append(self)
+                    env._ev_b.append(target)
+                    env._ev_c.append(value)
+                heapq.heappush(env._heap, (env._now, env._sequence, handle))
+            elif target._closed:
+                self.env._schedule_throw(self, target, target._closed_error())
+            else:
+                target._waiters.append(self)
+            return
+        self._wait_event(target)
+
+    def _resume_throw(self, exception: BaseException) -> None:
+        if self._triggered:
+            return
+        try:
+            target = self._generator.throw(exception)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into joiners
+            if self.env.strict:
+                raise
+            self.fail(exc)
+            return
+        cls = target.__class__
+        if cls is float or cls is int:
+            if target < 0:
+                raise ValueError(f"negative timeout delay: {target}")
+            epoch = self._sleep_epoch + 1
+            self._sleep_epoch = epoch
+            self._waiting_on = self
+            env = self.env
+            env._sequence += 1
+            free = env._free
+            if free:
+                handle = free.pop()
+                env._ev_kind[handle] = _K_SLEEP
+                env._ev_a[handle] = self
+                env._ev_b[handle] = epoch
+            else:
+                handle = len(env._ev_kind)
+                env._ev_kind.append(_K_SLEEP)
+                env._ev_a.append(self)
+                env._ev_b.append(epoch)
+                env._ev_c.append(None)
+            heapq.heappush(env._heap,
+                           (env._now + target, env._sequence, handle))
+            return
+        try:
+            is_channel = target._sim_channel
+        except AttributeError:
+            raise SimulationError(
+                f"process {self._name!r} yielded {target!r}, "
+                f"expected an Event, a Channel, or a number"
+            ) from None
+        if is_channel:
+            self._waiting_on = target
+            items = target._items
+            if items:
+                self.env._schedule_resume(self, target, items.popleft())
+            elif target._closed:
+                self.env._schedule_throw(self, target, target._closed_error())
+            else:
+                target._waiters.append(self)
+            return
+        self._wait_event(target)
+
+    def _wait_event(self, target: Event) -> None:
+        self._waiting_on = target
+        # Inlined target.add_callback(self._guarded_resume): this is the
+        # per-yield path for every Event wait in the simulation.
+        if target._triggered:
+            self._guarded_resume(target)
+        else:
+            target._callbacks.append(self._guarded_resume)
+
+    def _guarded_resume(self, event: Event) -> None:
+        # Only resume if we are still waiting on this event (we may have
+        # been interrupted and re-armed in the meantime).
+        if self._waiting_on is event:
+            self._resume(event)
 
 
 class AllOf(Event):
@@ -199,138 +546,30 @@ class AnyOf(Event):
             self.fail(child._value)
 
 
-ProcessGenerator = Generator[Event, Any, Any]
-
-
-class _SleepFired:
-    """Sentinel handed to :meth:`Process._resume` when a plain-number
-    sleep expires; mimics a successfully-triggered valueless Event."""
-
-    __slots__ = ()
-    _ok = True
-    _value = None
-
-
-_SLEEP_FIRED = _SleepFired()
-
-
-class Process(Event):
-    """A running simulation process.
-
-    A process wraps a generator; each yielded :class:`Event` suspends the
-    process until the event fires.  The process itself is an event that
-    fires with the generator's return value, so other processes can join
-    on it by yielding it.
-    """
-
-    __slots__ = ("_generator", "_waiting_on", "_interrupts", "_sleep_epoch")
-
-    def __init__(self, env: "Environment", generator: ProcessGenerator, name: str = ""):
-        super().__init__(env, name=name or getattr(generator, "__name__", "process"))
-        self._generator = generator
-        self._waiting_on: Optional[Event] = None
-        self._interrupts: List[Interrupt] = []
-        #: Invalidates in-flight sleep wake-ups after an interrupt/re-sleep.
-        self._sleep_epoch = 0
-        # Kick the process off at the current simulation time.
-        start = Event(env, name=f"start:{self._name}")
-        start.add_callback(self._resume)
-        start.succeed()
-
-    @property
-    def is_alive(self) -> bool:
-        return not self._triggered
-
-    def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at the current time.
-
-        Interrupting a finished process is a no-op, mirroring SimPy.
-        """
-        if self._triggered:
-            return
-        self._interrupts.append(Interrupt(cause))
-        waiting = self._waiting_on
-        if waiting is not None:
-            self._waiting_on = None
-            # Detach: when the original event fires later, ignore it.
-            poke = Event(self.env, name=f"interrupt:{self._name}")
-            poke.add_callback(self._resume)
-            poke.succeed()
-
-    def _resume(self, event: Event) -> None:
-        if self._triggered:
-            return
-        self._waiting_on = None
-        try:
-            if self._interrupts:
-                interrupt = self._interrupts.pop(0)
-                target = self._generator.throw(interrupt)
-            elif event._ok:
-                target = self._generator.send(event._value)
-            else:
-                target = self._generator.throw(event._value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:  # noqa: BLE001 - propagate into joiners
-            if self.env.strict:
-                raise
-            self.fail(exc)
-            return
-        cls = target.__class__
-        if cls is float or cls is int:
-            # Sleep fast path: ``yield delay`` behaves exactly like
-            # ``yield env.timeout(delay)`` — one heap slot, the same
-            # sequence number the Timeout would have drawn — without
-            # allocating an Event.  ``_waiting_on = self`` is a non-None
-            # marker so interrupt() still pokes the sleeper; the epoch
-            # invalidates the stale wake-up afterwards.
-            if target < 0:
-                raise ValueError(f"negative timeout delay: {target}")
-            epoch = self._sleep_epoch + 1
-            self._sleep_epoch = epoch
-            self._waiting_on = self
-            env = self.env
-            env._sequence += 1
-            heapq.heappush(env._heap,
-                           (env._now + target, env._sequence,
-                            (self._sleep_fire, epoch)))
-            return
-        if not isinstance(target, Event):
-            raise SimulationError(
-                f"process {self._name!r} yielded {target!r}, expected an Event"
-            )
-        self._waiting_on = target
-        # Inlined target.add_callback(self._guarded_resume): this is the
-        # per-yield hot path for every process in the simulation.
-        if target._triggered:
-            self._guarded_resume(target)
-        else:
-            target._callbacks.append(self._guarded_resume)
-
-    def _sleep_fire(self, epoch: int) -> None:
-        # Stale if the process was interrupted, finished, or moved on to
-        # waiting for something else since this sleep was scheduled.
-        if (self._triggered or self._waiting_on is not self
-                or epoch != self._sleep_epoch):
-            return
-        self._resume(_SLEEP_FIRED)
-
-    def _guarded_resume(self, event: Event) -> None:
-        # Only resume if we are still waiting on this event (we may have
-        # been interrupted and re-armed in the meantime).
-        if self._waiting_on is event:
-            self._resume(event)
-
-
 class Environment:
-    """Event loop holding the simulation clock and the pending-event heap."""
+    """Event loop holding the simulation clock and the pending-event heap.
+
+    The heap holds ``(when, sequence, handle)`` triples; the handle
+    indexes the parallel ``_ev_kind`` / ``_ev_a`` / ``_ev_b`` /
+    ``_ev_c`` lists and is recycled through ``_free`` when the entry
+    dispatches.  Because the live-event population is bounded by the
+    in-flight work of the simulation (not its length), the arrays stay
+    small and recycled handles stay in CPython's small-int cache — the
+    steady state allocates no per-event objects at all for the fast
+    paths.  See ``docs/KERNEL.md``.
+    """
 
     def __init__(self, strict: bool = True, tracer: Optional[Any] = None):
         self._now: float = 0.0
         self._heap: List[tuple] = []
         self._sequence = 0
         self._running = False
+        # Parallel event arrays + handle free-list (the array core).
+        self._ev_kind: List[int] = []
+        self._ev_a: List[Any] = []
+        self._ev_b: List[Any] = []
+        self._ev_c: List[Any] = []
+        self._free: List[int] = []
         #: When True, exceptions escaping a process abort the simulation
         #: instead of being stored as the process's failure value.
         self.strict = strict
@@ -345,15 +584,85 @@ class Environment:
         """Current simulated time, in seconds."""
         return self._now
 
+    # -- array-core introspection --------------------------------------
+
+    @property
+    def live_handle_high_watermark(self) -> int:
+        """Peak number of simultaneously-live event handles.
+
+        The arrays only grow when every recycled handle is in use, so
+        their length *is* the high-watermark; it should track in-flight
+        work (windows x clients), never run length.
+        """
+        return len(self._ev_kind)
+
+    @property
+    def handles_scheduled(self) -> int:
+        """Total events ever scheduled (every push draws one sequence
+        number and one handle)."""
+        return self._sequence
+
+    @property
+    def free_list_reuse_rate(self) -> float:
+        """Fraction of schedules served by recycling a freed handle."""
+        if self._sequence == 0:
+            return 0.0
+        return 1.0 - len(self._ev_kind) / self._sequence
+
     # -- scheduling ---------------------------------------------------
+
+    def _alloc(self, kind: int, a: Any, b: Any, c: Any) -> int:
+        """Allocate a handle (recycling via the free-list) — slow-path
+        helper; hot sites inline this."""
+        free = self._free
+        if free:
+            handle = free.pop()
+            self._ev_kind[handle] = kind
+            self._ev_a[handle] = a
+            self._ev_b[handle] = b
+            self._ev_c[handle] = c
+        else:
+            handle = len(self._ev_kind)
+            self._ev_kind.append(kind)
+            self._ev_a.append(a)
+            self._ev_b.append(b)
+            self._ev_c.append(c)
+        return handle
 
     def _schedule_at(self, when: float, event: Event) -> None:
         self._sequence += 1
-        heapq.heappush(self._heap, (when, self._sequence, event))
+        heapq.heappush(self._heap,
+                       (when, self._sequence,
+                        self._alloc(_K_EVENT, event, None, None)))
 
     def _schedule_trigger(self, event: Event) -> None:
         """Schedule callbacks of an already-triggered event at time now."""
         self._schedule_at(self._now, event)
+
+    def _schedule_resume(self, process: Process, channel: Channel,
+                         value: Any) -> None:
+        """Hand ``value`` to a channel-waiting process at time now
+        (one sequence number, like the get()-Event succeed it mirrors)."""
+        self._sequence += 1
+        heapq.heappush(self._heap,
+                       (self._now, self._sequence,
+                        self._alloc(_K_RESUME, process, channel, value)))
+
+    def _schedule_throw(self, process: Process, channel: Channel,
+                        exception: BaseException) -> None:
+        """Throw ``exception`` into a channel-waiting process at time
+        now (one sequence number, like the failed get()-Event)."""
+        self._sequence += 1
+        heapq.heappush(self._heap,
+                       (self._now, self._sequence,
+                        self._alloc(_K_THROW, process, channel, exception)))
+
+    def _schedule_sink(self, channel: Channel, item: Any) -> None:
+        """Dispatch ``item`` to a sink channel's handler at time now."""
+        self._sequence += 1
+        heapq.heappush(self._heap,
+                       (self._now, self._sequence,
+                        self._alloc(_K_SINK, channel, item, None)))
 
     # -- public API ---------------------------------------------------
 
@@ -364,19 +673,33 @@ class Environment:
         return Timeout(self, delay, value)
 
     def call_later(self, delay: float, fn: Callable[[Any], None], arg: Any = None) -> None:
-        """Schedule ``fn(arg)`` to run after ``delay`` — the timeout fast path.
+        """Schedule ``fn(arg)`` to run after ``delay`` — the deferred-call
+        fast path.
 
-        Equivalent to ``self.timeout(delay).add_callback(...)`` but without
-        allocating an Event or a callback list.  Use only for fire-and-forget
-        work: there is no handle to wait on, and the call cannot be cancelled.
-        Consumes one heap slot and one sequence number, exactly like the
-        Timeout it replaces, so switching a call site between the two forms
-        never perturbs event ordering.
+        Equivalent to ``self.timeout(delay).add_callback(...)`` but
+        without allocating an Event or a callback list: the call lives
+        in a recycled ``_K_CALL`` handle.  Use only for fire-and-forget
+        work: there is no handle to wait on, and the call cannot be
+        cancelled.  Consumes one heap slot and one sequence number,
+        exactly like the Timeout it replaces, so switching a call site
+        between the two forms never perturbs event ordering.
         """
         if delay < 0:
             raise ValueError(f"negative call_later delay: {delay}")
         self._sequence += 1
-        heapq.heappush(self._heap, (self._now + delay, self._sequence, (fn, arg)))
+        free = self._free
+        if free:
+            handle = free.pop()
+            self._ev_kind[handle] = _K_CALL
+            self._ev_a[handle] = fn
+            self._ev_b[handle] = arg
+        else:
+            handle = len(self._ev_kind)
+            self._ev_kind.append(_K_CALL)
+            self._ev_a.append(fn)
+            self._ev_b.append(arg)
+            self._ev_c.append(None)
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, handle))
 
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
         if self.tracer is not None:
@@ -393,13 +716,14 @@ class Environment:
         """Run until the heap drains or simulated time reaches ``until``.
 
         The loop body is the single hottest code in the repo, so it is
-        written for speed: ``heappop`` and the heap list are bound to
-        locals, and the per-event tracer hooks are replaced by a local
-        dispatch count and heap-depth high-watermark flushed once at
-        exit.  The flushed values are numerically identical to what
-        per-event ``counter``/``queue_depth`` calls would have produced
-        (integer sums and maxima commute), so trace fingerprints and
-        BENCH artifacts are unchanged.
+        written for speed: the heap, the event arrays, and the free-list
+        are bound to locals, dispatch switches on the kind tag with the
+        most frequent kinds first, and the per-event tracer hooks are
+        replaced by a local dispatch count and heap-depth high-watermark
+        flushed once at exit.  The flushed values are numerically
+        identical to what per-event ``counter``/``queue_depth`` calls
+        would have produced (integer sums and maxima commute), so trace
+        fingerprints and BENCH artifacts are unchanged.
         """
         if self._running:
             raise SimulationError("environment is already running")
@@ -407,6 +731,13 @@ class Environment:
         tracer = self.tracer
         heap = self._heap
         pop = heapq.heappop
+        push = heapq.heappush
+        kinds = self._ev_kind
+        arg_a = self._ev_a
+        arg_b = self._ev_b
+        arg_c = self._ev_c
+        free = self._free
+        free_append = free.append
         dispatched = 0
         peak_depth = -1
         try:
@@ -415,22 +746,76 @@ class Environment:
                 if until is not None and when > until:
                     self._now = until
                     return
-                event = pop(heap)[2]
+                entry = pop(heap)
                 self._now = when
                 if tracer is not None:
                     dispatched += 1
                     depth = len(heap)
                     if depth > peak_depth:
                         peak_depth = depth
-                if event.__class__ is tuple:
-                    event[0](event[1])
-                    continue
-                if not event._triggered:
-                    # Deferred triggers (timeouts) fire when popped.
-                    event._triggered = True
-                callbacks, event._callbacks = event._callbacks, []
-                for callback in callbacks:
-                    callback(event)
+                handle = entry[2]
+                kind = kinds[handle]
+                a = arg_a[handle]
+                b = arg_b[handle]
+                # Release the slot before dispatching: the payload may
+                # itself schedule (and so recycle the handle), and
+                # clearing the refs keeps dead messages collectable.
+                arg_a[handle] = None
+                arg_b[handle] = None
+                free_append(handle)
+                if kind == 0:  # _K_CALL
+                    a(b)
+                elif kind == 1:  # _K_RESUME
+                    c = arg_c[handle]
+                    arg_c[handle] = None
+                    if a._waiting_on is b:
+                        a._waiting_on = None
+                        a._resume_value(c)
+                elif kind == 2:  # _K_SLEEP
+                    # Stale if the process was interrupted, finished, or
+                    # moved on since this sleep was scheduled.
+                    if (a._waiting_on is a and b == a._sleep_epoch
+                            and not a._triggered):
+                        a._waiting_on = None
+                        a._resume_value(None)
+                elif kind == 3:  # _K_SINK
+                    a._handler(b)
+                    # Pump: hand the next queued item to the handler at
+                    # a fresh sequence number — exactly when (and with
+                    # the sequence number that) a generator consumer's
+                    # re-issued get() would have consumed it.
+                    items = a._items
+                    if items:
+                        item = items.popleft()
+                        self._sequence += 1
+                        if free:
+                            nxt = free.pop()
+                            kinds[nxt] = 3
+                            arg_a[nxt] = a
+                            arg_b[nxt] = item
+                        else:
+                            nxt = len(kinds)
+                            kinds.append(3)
+                            arg_a.append(a)
+                            arg_b.append(item)
+                            arg_c.append(None)
+                        push(heap, (when, self._sequence, nxt))
+                    else:
+                        a._pumping = False
+                elif kind == 4:  # _K_THROW
+                    c = arg_c[handle]
+                    arg_c[handle] = None
+                    if a._waiting_on is b:
+                        a._waiting_on = None
+                        a._resume_throw(c)
+                else:  # _K_EVENT
+                    if not a._triggered:
+                        # Deferred triggers (timeouts) fire when popped.
+                        a._triggered = True
+                    callbacks = a._callbacks
+                    a._callbacks = []
+                    for callback in callbacks:
+                        callback(a)
             if until is not None:
                 self._now = until
         finally:

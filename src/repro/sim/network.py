@@ -156,6 +156,10 @@ class Network:
         config = self.config
         heap = env._heap
         deliver = self._deliver
+        kinds = env._ev_kind
+        arg_a = env._ev_a
+        arg_b = env._ev_b
+        free = env._free
         for extra in extra_delays:
             # Inlined self.latency(...): send() is the hottest cluster
             # entry point and the jitter draw order must be preserved
@@ -168,11 +172,23 @@ class Network:
                     delay += abs(self._rng.gauss(0.0, config.jitter_stddev))
             delay += extra
             message = Message(src, dst, payload, size_ops, now, now + delay)
-            # Fast path: one plain heap entry per delivery instead of a
-            # Timeout event plus a per-message closure (same heap slot
-            # count, so event ordering is unchanged).
+            # Fast path: one recycled _K_CALL handle per delivery
+            # instead of a Timeout event plus a per-message closure
+            # (same heap slot and sequence-number count, so event
+            # ordering is unchanged).  Inlined env.call_later(...).
             env._sequence += 1
-            heapq.heappush(heap, (now + delay, env._sequence, (deliver, message)))
+            if free:
+                handle = free.pop()
+                kinds[handle] = 0  # _K_CALL
+                arg_a[handle] = deliver
+                arg_b[handle] = message
+            else:
+                handle = len(kinds)
+                kinds.append(0)
+                arg_a.append(deliver)
+                arg_b.append(message)
+                env._ev_c.append(None)
+            heapq.heappush(heap, (now + delay, env._sequence, handle))
 
     def _deliver(self, message: Message) -> None:
         """Complete an in-flight delivery (runs at ``deliver_time``)."""

@@ -1,32 +1,62 @@
 """Unbounded FIFO queues for inter-process communication.
 
-A :class:`Queue` is the kernel's channel primitive: producers call
-:meth:`Queue.put` (which never blocks), and consumers yield the event
-returned by :meth:`Queue.get`.  Items are delivered in FIFO order to
-getters in FIFO order, which keeps simulations deterministic.
+A :class:`Queue` is the kernel's channel primitive.  Producers call
+:meth:`Queue.put` (which never blocks); consumers pick one of three
+wait styles, cheapest first:
+
+1. **Sink mode** (:meth:`Queue.set_handler`): a plain function is
+   invoked once per item via the kernel's ``_K_SINK`` fast path — no
+   consumer generator, no per-item Event.  For pure message loops
+   (``while True: msg = yield q.get(); handle(msg)``) this is the
+   whole loop, minus the generator.
+2. **Channel wait** (``yield queue``): the yielding process is parked
+   on the queue and resumed with the next item through the kernel's
+   ``_K_RESUME`` fast path — no per-get Event allocation.
+3. **Legacy get** (``yield queue.get()``): returns an :class:`Event`
+   that fires with the next item.  Still the right call when the event
+   handle itself is needed (combinators, ``AnyOf`` timeouts).
+
+All three consume items from one FIFO and wake waiters in FIFO order,
+and each hand-off costs exactly one kernel sequence number regardless
+of style, so converting a consumer between styles never perturbs event
+ordering (docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List
+from typing import Any, Callable, List, Optional
 
-from repro.sim.kernel import Environment, Event
+from repro.sim.kernel import Channel, Environment, Event
+
+_EVENT = Event  # class-identity test in put(); bound once
 
 
 class QueueClosed(Exception):
     """Raised into getters when a queue is closed with no items left."""
 
 
-class Queue:
+class Queue(Channel):
     """An unbounded deterministic FIFO channel."""
+
+    __slots__ = ("name", "_depth_key", "_get_name")
 
     def __init__(self, env: Environment, name: str = ""):
         self.env = env
         self.name = name
-        self._items: Deque[Any] = deque()
-        self._getters: Deque[Event] = deque()
+        self._items = deque()
+        #: Parked consumers, FIFO.  Holds :class:`Process` objects
+        #: (channel waits) and :class:`Event` objects (legacy getters),
+        #: discriminated by class in :meth:`put`.
+        self._waiters = deque()
         self._closed = False
+        #: Sink-mode handler (see :meth:`set_handler`); None for
+        #: consumer-driven queues.
+        self._handler: Optional[Callable[[Any], None]] = None
+        #: True while a ``_K_SINK`` dispatch is in flight; the kernel's
+        #: pump clears it when the queue drains, so each item is handled
+        #: at its own sequence number in arrival order.
+        self._pumping = False
         # Label strings are built once here: put()/get() run hundreds of
         # thousands of times per bench, so per-call formatting shows up.
         self._depth_key = ("queue." + name) if name else ""
@@ -39,13 +69,39 @@ class Queue:
     def closed(self) -> bool:
         return self._closed
 
+    def _closed_error(self) -> QueueClosed:
+        return QueueClosed(f"queue {self.name!r} is closed")
+
+    def set_handler(self, handler: Callable[[Any], None]) -> None:
+        """Switch the queue to sink mode: ``handler(item)`` runs once
+        per put, in put order, each at its own simulation step.
+
+        The handler must be a plain function (it cannot yield); any
+        waiting it needs must go through processes it schedules.  A
+        queue can't mix sink mode with waiting consumers.
+        """
+        if self._waiters:
+            raise RuntimeError(
+                f"queue {self.name!r} has waiting consumers; cannot "
+                f"switch to sink mode")
+        self._handler = handler
+
     def put(self, item: Any) -> None:
-        """Enqueue ``item``; wakes the oldest waiting getter, if any."""
+        """Enqueue ``item``; wakes the oldest waiting consumer, if any."""
         if self._closed:
             raise QueueClosed(f"queue {self.name!r} is closed")
-        if self._getters:
-            getter = self._getters.popleft()
-            getter.succeed(item)
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.__class__ is _EVENT:
+                waiter.succeed(item)
+            else:
+                # A channel-waiting process: hand the item over via the
+                # kernel fast path (one sequence number, exactly like
+                # the getter Event's succeed above).
+                self.env._schedule_resume(waiter, self, item)
+        elif self._handler is not None and not self._pumping:
+            self._pumping = True
+            self.env._schedule_sink(self, item)
         else:
             self._items.append(item)
             tracer = self.env.tracer
@@ -53,14 +109,18 @@ class Queue:
                 tracer.queue_depth(self._depth_key, len(self._items))
 
     def get(self) -> Event:
-        """Return an event that fires with the next item."""
+        """Return an event that fires with the next item.
+
+        Prefer ``yield queue`` (no Event allocation) unless the handle
+        itself is needed, e.g. for :class:`repro.sim.kernel.AnyOf`.
+        """
         event = Event(self.env, name=self._get_name)
         if self._items:
             event.succeed(self._items.popleft())
         elif self._closed:
             event.fail(QueueClosed(f"queue {self.name!r} is closed"))
         else:
-            self._getters.append(event)
+            self._waiters.append(event)
         return event
 
     def try_get(self) -> Any:
@@ -80,6 +140,10 @@ class Queue:
         if self._closed:
             return
         self._closed = True
-        while self._getters:
-            getter = self._getters.popleft()
-            getter.fail(QueueClosed(f"queue {self.name!r} is closed"))
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.__class__ is _EVENT:
+                waiter.fail(QueueClosed(f"queue {self.name!r} is closed"))
+            else:
+                self.env._schedule_throw(
+                    waiter, self, QueueClosed(f"queue {self.name!r} is closed"))

@@ -110,3 +110,35 @@ class TestCli:
         from repro.bench.__main__ import main
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_budget_rejects_profile(self, capsys):
+        """--budget gates unprofiled time only: cProfile inflates the
+        array core ~2.5x, so the combination is a usage error rather
+        than a gate that always fails (docs/PERFORMANCE.md)."""
+        from repro.bench.__main__ import main
+        with pytest.raises(SystemExit):
+            main(["fig18", "--scale", "0.5", "--profile", "--budget", "60"])
+        assert "2.5x" in capsys.readouterr().err
+
+    def test_profile_output_flags_inflation(self, capsys, tmp_path):
+        """The per-experiment breakdown must carry the inflation caveat
+        so profiled deltas are never mistaken for budget-able numbers."""
+        from repro.bench.__main__ import main
+        code = main(["fig18", "--scale", "0.5", "--profile",
+                     "--profile-out", str(tmp_path / "p.prof")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "inflated" in out
+        assert (tmp_path / "p.prof").exists()
+
+    def test_gc_reenabled_after_experiment(self):
+        """The harness pauses cyclic GC per experiment; a crash-free run
+        must hand the interpreter back with GC on."""
+        import gc
+        from repro.bench.harness import run_dfaster_experiment
+        from repro.workloads import YCSB_A
+        assert gc.isenabled()
+        run_dfaster_experiment("gc probe", duration=0.02, warmup=0.01,
+                               n_workers=1, n_client_machines=1,
+                               workload=YCSB_A)
+        assert gc.isenabled()

@@ -1,0 +1,31 @@
+"""Docs-consistency: the README documentation index covers docs/.
+
+CI's ``docs-consistency`` job enforces the same invariant; this test
+keeps it visible in local runs.  A document that ships without a row
+in the README index table is invisible to readers, and a row pointing
+at a deleted file is worse.
+"""
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = (REPO_ROOT / "README.md").read_text()
+DOCS_DIR = REPO_ROOT / "docs"
+
+
+def test_every_doc_is_indexed():
+    missing = [path.name for path in sorted(DOCS_DIR.iterdir())
+               if path.suffix == ".md"
+               and f"docs/{path.name}" not in README]
+    assert not missing, (
+        f"README docs index omits docs/ file(s): {missing} — add a row "
+        "to the Documentation table in README.md")
+
+
+def test_no_dangling_doc_references():
+    referenced = set(re.findall(r"docs/([A-Za-z0-9_.-]+\.md)", README))
+    dangling = sorted(name for name in referenced
+                     if not (DOCS_DIR / name).exists())
+    assert not dangling, (
+        f"README references missing docs/ file(s): {dangling}")

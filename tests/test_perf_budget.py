@@ -1,32 +1,83 @@
-"""Deterministic kernel-event budget for the fig10 smoke configuration.
+"""Deterministic kernel budgets + byte-identity anchors for the array core.
 
-The hot-path overhaul (docs/PERFORMANCE.md) holds throughput by keeping
-the *number* of kernel events per batch flat: every fast path (plain
-heap tuples for deliveries, number-sleeps instead of Timeout events)
-consumes exactly one heap slot where the old code consumed one.  Wall
-clock is machine-dependent and gated in CI instead (the perf-smoke
-job); the event count is exactly reproducible, so it gets a hard test.
+Two families of regression guard live here:
 
-If this fails after an intentional protocol change (more messages per
-batch, a new background loop), re-measure and move the budget with the
-change — the point is that event-count growth is a *decision*, never an
-accident of a refactor.
+**Budgets** hold the array-structured kernel (docs/KERNEL.md) to the
+numbers that make it fast: the dispatch count of the fig10 smoke cell
+is exactly reproducible and pinned; the heap and the live-handle pool
+must scale with in-flight work (windows x clients), never run length;
+and the free-list must be recycling nearly every handle (a reuse-rate
+collapse means handles are leaking and the arrays are growing without
+bound).
+
+**Byte-identity anchors** pin sha256 digests of full trace streams
+captured *before* the array-core refactor landed.  The refactor's
+contract (docs/PERFORMANCE.md) is that every fast path consumes exactly
+one kernel sequence number where the Event-based form consumed one, so
+event order, RNG draw order, and therefore every simulated result are
+bit-for-bit unchanged.  These tests hold future kernel work to the same
+contract: if one fails, the change reordered events — compare
+per-counter with Tracer.counters and per-phase with phase_summary() to
+localize, and only re-pin if the reordering was an intentional protocol
+change, never to absorb an accidental one.
+
+If a *budget* fails after an intentional protocol change (more messages
+per batch, a new background loop), re-measure and move the budget with
+the change — the point is that event-count growth is a *decision*,
+never an accident of a refactor.
 """
 
+import hashlib
+import json
+
 from repro.bench.harness import run_dfaster_experiment
+from repro.cluster import DFasterCluster, DFasterConfig
 from repro.obs import Tracer
 from repro.workloads import YCSB_A
 
-#: Exact dispatch count of the smoke cell below, as of the hot-path
-#: overhaul.  The assertion allows 5% headroom so byte-level-neutral
-#: refactors that legitimately reshuffle a few control events (e.g. a
-#: changed shutdown order) don't trip it.
-SMOKE_DISPATCH_BASELINE = 13_679
+#: Exact dispatch count of the smoke cell below, as of the array-core
+#: refactor.  (It was 13_679 before: converting six message-router
+#: generators to sink handlers removed their six start events; every
+#: per-message event is unchanged.)  The assertion allows 5% headroom so
+#: byte-level-neutral refactors that legitimately reshuffle a few
+#: control events (e.g. a changed shutdown order) don't trip it.
+SMOKE_DISPATCH_BASELINE = 13_673
 SMOKE_DISPATCH_BUDGET = int(SMOKE_DISPATCH_BASELINE * 1.05)
 
 #: The heap should stay shallow: depth scales with in-flight work
 #: (windows x clients), not with run length.
 SMOKE_HEAP_DEPTH_BUDGET = 160
+
+#: The live-handle pool is bounded by heap depth plus the entry being
+#: dispatched, so the same in-flight-work bound applies (measured: 81
+#: for this cell).  Growth here with run length means handles leak.
+SMOKE_LIVE_HANDLE_BUDGET = 160
+
+#: Nearly every schedule should recycle a freed handle once the pool
+#: warms up (measured: 99.4% for this cell).
+SMOKE_FREE_LIST_REUSE_MIN = 0.95
+
+#: sha256 of Tracer.serialize() for the smoke cell, captured on the
+#: object-per-event kernel immediately before the array core replaced
+#: it.  Every span, counter bucket, and gauge in emission order — if
+#: the array core (or any future kernel change) perturbs event order
+#: or RNG draw order, this digest moves.
+SMOKE_TRACE_SHA = \
+    "89d4b77b6523a44f14afb7462acf80a6f2fb524577876779b9f868685adefff8"
+
+#: Pre-refactor digests of the full chaos and replication scenario
+#: fingerprints from tests/test_determinism_hashseed.py — protocol
+#: outcomes (commits, aborts, injected faults, world-lines, cuts) plus
+#: the serialized trace, across crash/recovery and promotion paths the
+#: smoke cell never exercises.
+CHAOS_SCENARIO_SHA = \
+    "e7276d2772d7bd0f4c515a6e15f8195cffde745e687b0fb21c9b0f1f39a5d760"
+REPLICATION_SCENARIO_SHA = \
+    "8475dcd0c7d78192fc98312dd8fdd70fe2b183decde64e356518f18985c48fee"
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
 
 
 def _run_smoke() -> Tracer:
@@ -36,6 +87,16 @@ def _run_smoke() -> Tracer:
         n_workers=2, n_client_machines=2, workload=YCSB_A,
         tracer=tracer)
     return tracer
+
+
+def _run_smoke_cluster():
+    """The same smoke cell, built directly so the Environment (and its
+    array-core introspection) stays reachable after the run."""
+    tracer = Tracer()
+    cluster = DFasterCluster(DFasterConfig(
+        n_workers=2, n_client_machines=2, workload=YCSB_A, tracer=tracer))
+    cluster.run(0.1, warmup=0.05)
+    return cluster, tracer
 
 
 class TestKernelEventBudget:
@@ -59,3 +120,58 @@ class TestKernelEventBudget:
         tracer = _run_smoke()
         depth = tracer.queue_high_watermarks["kernel.heap"]
         assert 0 < depth <= SMOKE_HEAP_DEPTH_BUDGET
+
+
+class TestArrayCoreBudget:
+    """The array core's handle pool must track in-flight work."""
+
+    def test_live_handle_high_watermark(self):
+        cluster, tracer = _run_smoke_cluster()
+        env = cluster.env
+        watermark = env.live_handle_high_watermark
+        # Guard both directions: zero means the core stopped using
+        # handles (introspection went stale), growth past the budget
+        # means handles leak instead of recycling.
+        assert 0 < watermark <= SMOKE_LIVE_HANDLE_BUDGET, (
+            f"live-handle high-watermark {watermark} outside "
+            f"(0, {SMOKE_LIVE_HANDLE_BUDGET}] — the free-list is "
+            f"leaking handles if this grew")
+        # The pool is bounded by heap depth + the entry in dispatch.
+        heap_peak = tracer.queue_high_watermarks["kernel.heap"]
+        assert watermark <= heap_peak + 1
+
+    def test_free_list_reuse_rate(self):
+        cluster, _ = _run_smoke_cluster()
+        env = cluster.env
+        assert env.handles_scheduled > SMOKE_DISPATCH_BASELINE * 0.5
+        assert env.free_list_reuse_rate >= SMOKE_FREE_LIST_REUSE_MIN, (
+            f"free-list reuse rate {env.free_list_reuse_rate:.4f} below "
+            f"{SMOKE_FREE_LIST_REUSE_MIN} — schedules are growing the "
+            f"arrays instead of recycling handles")
+
+
+class TestByteIdentity:
+    """Pre-refactor trace digests must keep matching the shipped core."""
+
+    def test_smoke_trace_fingerprint_unchanged(self):
+        tracer = _run_smoke()
+        assert _sha(tracer.serialize()) == SMOKE_TRACE_SHA, (
+            "fig10-smoke trace stream diverged from the pre-array-core "
+            "capture: a kernel fast path is consuming a different number "
+            "of sequence numbers (see docs/PERFORMANCE.md, rule 1)")
+
+    def test_chaos_scenario_fingerprint_unchanged(self):
+        from test_determinism_hashseed import CHAOS_SCENARIO, run_with_hashseed
+        assert _sha(run_with_hashseed(0, CHAOS_SCENARIO)) == \
+            CHAOS_SCENARIO_SHA, (
+            "chaos-scenario fingerprint diverged from the pre-array-core "
+            "capture: event order changed on the crash/recovery path")
+
+    def test_replication_scenario_fingerprint_unchanged(self):
+        from test_determinism_hashseed import (
+            REPLICATION_SCENARIO, run_with_hashseed)
+        assert _sha(run_with_hashseed(0, REPLICATION_SCENARIO)) == \
+            REPLICATION_SCENARIO_SHA, (
+            "replication-scenario fingerprint diverged from the "
+            "pre-array-core capture: event order changed on the "
+            "chain/promotion path")
