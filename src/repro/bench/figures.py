@@ -23,7 +23,13 @@ from repro.bench.report import format_table
 from repro.cluster.client import ReplicaReadClient
 from repro.cluster.dredis import RedisMode
 from repro.sim.storage import StorageKind
-from repro.workloads import YCSB_A, YCSB_A_ZIPFIAN, YCSB_B
+from repro.workloads import (
+    YCSB_A,
+    YCSB_A_ZIPFIAN,
+    YCSB_B,
+    attach_open_loop,
+    slo_report,
+)
 
 Rows = List[Dict]
 
@@ -322,11 +328,58 @@ def replication(scale: float = 1.0) -> Tuple[str, Rows]:
             rows)
 
 
+def openloop(scale: float = 1.0) -> Tuple[str, Rows]:
+    """SLO knee curve: commit latency vs offered open-loop load.
+
+    Sessions arrive at a fixed offered rate whether or not the cluster
+    keeps up (no closed-loop coordinated omission), pass the admission
+    stack, and their arrival-to-cut commit latency is reported as exact
+    percentiles.  Sweeping the rate traces the knee: flat latency while
+    capacity holds, then the admission queue fills, sheds absorb the
+    overload, and the tail walks out to the queue bound
+    (docs/OPENLOOP.md).
+    """
+    duration, warmup = _window(scale)
+    rates = (100e3, 250e3, 500e3, 1e6, 2e6)
+    rows = []
+    for rate in rates:
+        scenario = {
+            "arrival": {"rate": rate},
+            "session": {"coalesce": 256},
+            "admission": {"queue_capacity": 200_000, "max_inflight": 16},
+        }
+        row = {"offered ksess/s": rate / 1e3}
+        for system, runner, overrides in (
+            ("d-faster", run_dfaster_experiment,
+             dict(n_workers=2, vcpus=4)),
+            ("d-redis", run_dredis_experiment,
+             dict(n_shards=2, mode=RedisMode.DPR,
+                  checkpoint_interval=0.05)),
+        ):
+            drivers: list = []
+            runner(f"openloop {system} rate={rate:g}",
+                   duration=duration, warmup=warmup,
+                   n_client_machines=0,
+                   setup=lambda cluster, drivers=drivers: drivers.append(
+                       attach_open_loop(cluster, scenario)),
+                   **overrides)
+            report = slo_report(drivers[0])
+            latency = report["commit_latency"]
+            offered = max(1, report["offered_sessions"])
+            row[f"{system} p50ms"] = latency["p50"] * 1e3
+            row[f"{system} p99ms"] = latency["p99"] * 1e3
+            row[f"{system} p999ms"] = latency["p999"] * 1e3
+            row[f"{system} shed%"] = 100.0 * report["shed_sessions"] / offered
+        rows.append(row)
+    return ("Open-loop SLO knee: commit latency vs offered load "
+            "(exact percentiles)", rows)
+
+
 FIGURES: Dict[str, Callable[[float], Tuple[str, Rows]]] = {
     "fig10": fig10, "fig11": fig11, "fig12": fig12, "fig13": fig13,
     "fig14": fig14, "fig15": fig15, "fig16": fig16, "fig17": fig17,
     "fig18": fig18, "fig19": fig19, "elastic": elastic,
-    "replication": replication,
+    "openloop": openloop, "replication": replication,
 }
 
 

@@ -171,6 +171,10 @@ class BatchSession:
         op_count = self._abandoned.pop(batch_id, None)
         if op_count is None:
             return
+        # The straggler proves the worker is serving again; without this
+        # reset one recovery window would permanently inflate this
+        # session's exponential backoff.
+        self.retry_attempts = 0
         self.aborted_ops -= op_count
         self.reconciled_ops += op_count
         self.stats.aborted.add(now, -op_count)
@@ -406,8 +410,10 @@ class ClientMachine:
     def _timeout_sweeper(self):
         """Abandon batches stuck on a crashed worker (broken-pipe analog)."""
         env = self.env
-        while True:
+        while self.running:
             yield self.request_timeout / 2
+            if not self.running:
+                break
             deadline = env.now - self.request_timeout
             for session in self.sessions.values():
                 stuck = [

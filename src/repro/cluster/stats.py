@@ -83,6 +83,7 @@ class Reservoir:
             "p50": self.percentile(50),
             "p95": self.percentile(95),
             "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
         }
 
 

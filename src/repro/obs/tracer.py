@@ -194,6 +194,9 @@ class Tracer:
         self.gauges: Dict[str, float] = {}
         #: Per-queue depth high-watermarks.
         self.queue_high_watermarks: Dict[str, int] = {}
+        #: Per-queue *current* depths — decays back to 0 as consumers
+        #: drain, unlike the watermark (which remembers the peak).
+        self.queue_depths: Dict[str, int] = {}
         self.spans_cancelled = 0
         self.unmatched_span_ends = 0
         self._phases: Dict[str, PhaseStats] = {}
@@ -210,7 +213,14 @@ class Tracer:
         self.gauges[name] = value
 
     def queue_depth(self, name: str, depth: int) -> None:
-        """Track the high-watermark depth of a named queue."""
+        """Track the current depth and high-watermark of a named queue.
+
+        Callers record on *both* enqueue and dequeue, so the gauge
+        decays back to 0 as the queue drains; the watermark keeps the
+        peak.  No event is appended, so trace fingerprints are
+        unaffected by how often a queue is sampled.
+        """
+        self.queue_depths[name] = depth
         if depth > self.queue_high_watermarks.get(name, -1):
             self.queue_high_watermarks[name] = depth
 
@@ -280,6 +290,8 @@ class Tracer:
             "queue_high_watermarks": {
                 k: self.queue_high_watermarks[k]
                 for k in sorted(self.queue_high_watermarks)},
+            "queue_depths": {
+                k: self.queue_depths[k] for k in sorted(self.queue_depths)},
             "phases": self.phase_summary(),
             "events_recorded": len(self.events),
             "events_dropped": self.events_dropped,

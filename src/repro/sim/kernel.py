@@ -254,6 +254,12 @@ class Channel:
 
     _sim_channel = True
 
+    #: Tracer gauge label for backlog depth; subclasses with named
+    #: instances (repro.sim.queues.Queue) shadow this with a slot so
+    #: the kernel's consume fast paths can report dequeues too —
+    #: falsy means "unnamed, do not record".
+    _depth_key = ""
+
     def _closed_error(self) -> BaseException:
         """The exception thrown into waiters when the channel closes."""
         raise NotImplementedError  # pragma: no cover - subclass duty
@@ -419,6 +425,11 @@ class Process(Event):
                     env._ev_b.append(target)
                     env._ev_c.append(value)
                 heapq.heappush(env._heap, (env._now, env._sequence, handle))
+                # Dequeue side of the queue-depth gauge (no event is
+                # recorded, so fingerprints are unchanged).
+                tracer = env.tracer
+                if tracer is not None and target._depth_key:
+                    tracer.queue_depth(target._depth_key, len(items))
             elif target._closed:
                 self.env._schedule_throw(self, target, target._closed_error())
             else:
@@ -475,6 +486,9 @@ class Process(Event):
             items = target._items
             if items:
                 self.env._schedule_resume(self, target, items.popleft())
+                tracer = self.env.tracer
+                if tracer is not None and target._depth_key:
+                    tracer.queue_depth(target._depth_key, len(items))
             elif target._closed:
                 self.env._schedule_throw(self, target, target._closed_error())
             else:
@@ -800,6 +814,10 @@ class Environment:
                             arg_b.append(item)
                             arg_c.append(None)
                         push(heap, (when, self._sequence, nxt))
+                        if tracer is not None:
+                            dk = a._depth_key
+                            if dk:
+                                tracer.queue_depth(dk, len(items))
                     else:
                         a._pumping = False
                 elif kind == 4:  # _K_THROW

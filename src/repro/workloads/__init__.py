@@ -1,5 +1,17 @@
-"""Workload generators: YCSB mixes with uniform and Zipfian skew."""
+"""Workload generators: YCSB mixes (uniform and Zipfian skew) plus the
+open-loop fleet driver with its admission-control stack."""
 
+from repro.workloads.openloop import (
+    DEFAULT_SCENARIO,
+    OpenLoopDriver,
+    ScenarioError,
+    SessionTable,
+    TokenBucket,
+    attach_open_loop,
+    poisson_draw,
+    slo_report,
+    validate_scenario,
+)
 from repro.workloads.ycsb import (
     Distribution,
     WorkloadSpec,
@@ -12,8 +24,17 @@ from repro.workloads.ycsb import (
 from repro.workloads.zipfian import ZipfianGenerator
 
 __all__ = [
+    "DEFAULT_SCENARIO",
     "Distribution",
+    "OpenLoopDriver",
+    "ScenarioError",
+    "SessionTable",
+    "TokenBucket",
     "WorkloadSpec",
+    "attach_open_loop",
+    "poisson_draw",
+    "slo_report",
+    "validate_scenario",
     "YCSB_A",
     "YCSB_A_ZIPFIAN",
     "YCSB_B",

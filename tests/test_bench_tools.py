@@ -83,7 +83,7 @@ class TestHarness:
 class TestFiguresModule:
     def test_registry_covers_all_figures(self):
         expected = ({f"fig{n}" for n in range(10, 20)}
-                    | {"elastic", "replication"})
+                    | {"elastic", "openloop", "replication"})
         assert set(FIGURES) == expected
 
     def test_unknown_figure_rejected(self):

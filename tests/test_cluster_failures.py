@@ -1,13 +1,18 @@
 """Tests for real crashes (heartbeat detection, bounded restart) and
 cluster membership changes (§4.1, §5.3)."""
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro.cluster import DFasterCluster, DFasterConfig
-from repro.cluster.client import BatchSession
+from repro.cluster.client import BatchSession, ClientMachine
 from repro.cluster.messages import BatchReply
 from repro.cluster.stats import ClusterStats
 from repro.sim.faults import FaultPlan, Partition
+from repro.sim.kernel import Environment
+from repro.sim.network import Network
+from repro.workloads import YCSB_A
 
 SMALL = dict(n_workers=3, vcpus=2, n_client_machines=1, client_threads=2,
              batch_size=32, checkpoint_interval=0.05)
@@ -198,6 +203,70 @@ class TestDeliveryHardening:
         session.complete(reply, now=0.1)
         assert session.outstanding_ops == 0
         assert stats.completed.total() == 32
+
+    def test_straggler_reconciliation_resets_backoff(self):
+        # One recovery window must not permanently inflate a session's
+        # RETRY backoff: a straggling "ok" reply for an abandoned batch
+        # proves the worker is serving again, so the retry state resets
+        # along with the ledger reconciliation.
+        stats = ClusterStats()
+        session = BatchSession("s", stats)
+        request = session.new_batch("worker-0", 32, 16, now=0.0,
+                                    reply_to="client-0")
+        session.retry_attempts = 5  # inflated during the outage
+        session.abandon(session.records[request.batch_id], now=0.5)
+        reply = BatchReply(batch_id=request.batch_id, session_id="s",
+                           object_id="worker-0", status="ok",
+                           world_line=0, version=1, op_count=32,
+                           served_at=0.6)
+        session.complete(reply, now=0.6)
+        assert session.reconciled_ops == 32
+        assert session.retry_attempts == 0
+
+    def test_post_recovery_session_returns_to_base_retry_delay(self):
+        # End to end through _on_reply: after the straggler reset, the
+        # next RETRY backs off from the base delay again instead of the
+        # exponent the outage left behind.
+        env = Environment()
+        net = Network(env)
+        net.register("worker-0")
+        machine = ClientMachine(env, net, "client-0", ["worker-0"],
+                                YCSB_A, ClusterStats(), n_threads=1, rng=1)
+        session = next(iter(machine.sessions.values()))
+        request = session.new_batch("worker-0", 32, 16, now=0.0,
+                                    reply_to="client-0")
+        session.retry_attempts = 6  # a full recovery window of RETRYs
+        session.abandon(session.records[request.batch_id], now=0.0)
+        straggler = BatchReply(batch_id=request.batch_id,
+                               session_id=session.session_id,
+                               object_id="worker-0", status="ok",
+                               world_line=0, version=1, op_count=32)
+        machine._on_reply(SimpleNamespace(payload=straggler))
+        retry_request = session.new_batch("worker-0", 32, 16, now=env.now,
+                                          reply_to="client-0")
+        retry = BatchReply(batch_id=retry_request.batch_id,
+                           session_id=session.session_id,
+                           object_id="worker-0", status="retry",
+                           world_line=0)
+        machine._on_reply(SimpleNamespace(payload=retry))
+        # Base-exponent backoff lands (jittered) within one retry_delay;
+        # the inflated exponent would pause ~0.05s or more.
+        assert session.retry_attempts == 1
+        assert session.paused_until - env.now <= machine.retry_delay
+
+    def test_stop_quiesces_the_simulation(self):
+        # stop() must also stop the timeout sweeper; before the fix it
+        # rescheduled itself forever and the sim never drained.
+        env = Environment()
+        net = Network(env)
+        net.register("worker-0")  # a silent worker: never replies
+        machine = ClientMachine(env, net, "client-0", ["worker-0"],
+                                YCSB_A, ClusterStats(), batch_size=32,
+                                n_threads=2, rng=1)
+        env.run(until=0.5)
+        machine.stop()
+        env.run(until=5.0)
+        assert env.peek() is None  # run to quiescence: heap drained
 
     def test_rollback_command_retransmitted_through_partition(self):
         # Sever the manager from worker-1 across the rollback; the

@@ -146,6 +146,35 @@ REPLICATION_SCENARIO = textwrap.dedent(
 )
 
 
+OPENLOOP_SCENARIO = textwrap.dedent(
+    """
+    import hashlib
+    import json
+
+    from repro.cluster import DFasterCluster, DFasterConfig
+    from repro.obs import Tracer
+    from repro.workloads import attach_open_loop, slo_report
+
+    tracer = Tracer()
+    cluster = DFasterCluster(DFasterConfig(
+        n_workers=2, vcpus=2, n_client_machines=0, seed=99,
+        checkpoint_interval=0.05, tracer=tracer))
+    cluster.schedule_crash(worker_index=1, at_time=0.2)
+    driver = attach_open_loop(cluster, scenario={
+        "name": "hashseed-probe",
+        "arrival": {"process": "lognormal", "rate": 300000.0},
+        "admission": {"queue_capacity": 20000,
+                      "token_rate": 1500000.0},
+    })
+    cluster.run(0.4, warmup=0.05)
+    summary = slo_report(driver)
+    summary["trace_sha"] = hashlib.sha256(
+        tracer.serialize().encode()).hexdigest()
+    print(json.dumps(summary, sort_keys=True))
+    """
+)
+
+
 def run_with_hashseed(seed, scenario=SCENARIO):
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = str(seed)
@@ -194,6 +223,21 @@ def test_elastic_run_identical_across_hash_seeds():
     summary = json.loads(first)
     assert summary["committed"] > 0
     assert summary["migrations"] > 0
+
+
+def test_openloop_run_identical_across_hash_seeds():
+    """The open-loop SLO report and the full trace fingerprint are
+    byte-identical across interpreter hash seeds: bursty (log-normal)
+    arrivals, token-bucket admission, shedding, and a mid-run crash
+    all flow from the config seed alone."""
+    first = run_with_hashseed(1, OPENLOOP_SCENARIO)
+    second = run_with_hashseed(777, OPENLOOP_SCENARIO)
+    assert first == second
+    summary = json.loads(first)
+    assert summary["committed_sessions"] > 0
+    assert summary["aborted_sessions"] > 0
+    assert summary["commit_latency"]["p999"] >= \
+        summary["commit_latency"]["p50"] > 0
 
 
 def test_replicated_run_identical_across_hash_seeds():

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.sim.queues import Queue, QueueClosed
+from repro.obs import Tracer
+from repro.sim.kernel import Environment
+from repro.sim.queues import EMPTY, BoundedQueue, Queue, QueueClosed
+
+
+def traced_env():
+    tracer = Tracer()
+    return Environment(tracer=tracer), tracer
 
 
 class TestQueueBasics:
@@ -77,6 +84,145 @@ class TestQueueBasics:
         assert len(queue) == 0
 
 
+class TestQueueWatermarks:
+    """The queue depth gauge must track both enqueue and dequeue:
+    recording only on put() leaves the current-depth gauge stale-high
+    forever (the PR-10 watermark bug)."""
+
+    def test_depth_gauge_decays_after_drain(self):
+        env, tracer = traced_env()
+        queue = Queue(env, name="jobs")
+        for item in range(3):
+            queue.put(item)
+        assert tracer.queue_depths["queue.jobs"] == 3
+        assert queue.drain() == [0, 1, 2]
+        assert tracer.queue_depths["queue.jobs"] == 0
+        # The high watermark still remembers the peak.
+        assert tracer.queue_high_watermarks["queue.jobs"] == 3
+
+    def test_depth_gauge_decays_on_get(self):
+        env, tracer = traced_env()
+        queue = Queue(env, name="jobs")
+        queue.put("a")
+        queue.put("b")
+
+        def consumer():
+            yield queue.get()
+            yield queue.get()
+
+        env.process(consumer())
+        env.run()
+        assert tracer.queue_depths["queue.jobs"] == 0
+        assert tracer.queue_high_watermarks["queue.jobs"] == 2
+
+    def test_depth_gauge_decays_on_try_get(self):
+        env, tracer = traced_env()
+        queue = Queue(env, name="jobs")
+        queue.put("a")
+        assert queue.try_get() == "a"
+        assert tracer.queue_depths["queue.jobs"] == 0
+
+    def test_depth_gauge_decays_on_channel_wait(self):
+        env, tracer = traced_env()
+        queue = Queue(env, name="jobs")
+        queue.put("a")
+        queue.put("b")
+        got = []
+
+        def consumer():
+            got.append((yield queue))
+            got.append((yield queue))
+
+        env.process(consumer())
+        env.run()
+        assert got == ["a", "b"]
+        assert tracer.queue_depths["queue.jobs"] == 0
+
+    def test_depth_gauge_decays_on_sink_pump(self):
+        env, tracer = traced_env()
+        queue = Queue(env, name="jobs")
+        got = []
+        queue.set_handler(got.append)
+        # First put dispatches straight to the handler; the rest land in
+        # the backlog while the pump is in flight.
+        for item in range(4):
+            queue.put(item)
+        assert tracer.queue_depths["queue.jobs"] == 3
+        env.run()
+        assert got == [0, 1, 2, 3]
+        assert tracer.queue_depths["queue.jobs"] == 0
+        assert tracer.queue_high_watermarks["queue.jobs"] == 3
+
+
+class TestTryGetSentinel:
+    def test_try_get_distinguishes_enqueued_none(self, env):
+        queue = Queue(env)
+        queue.put(None)
+        assert queue.try_get(EMPTY) is None  # the enqueued None itself
+        assert queue.try_get(EMPTY) is EMPTY  # now genuinely empty
+
+    def test_try_get_drains_then_fails_when_closed(self, env):
+        queue = Queue(env)
+        queue.put(1)
+        queue.close()
+        assert queue.try_get() == 1  # backlog still served after close
+        with pytest.raises(QueueClosed):
+            queue.try_get()
+
+
+class TestBoundedQueue:
+    def test_shed_oldest_never_exceeds_capacity(self, env):
+        shed = []
+        queue = BoundedQueue(env, capacity=3, name="adm",
+                             on_shed=shed.append)
+        for item in range(10):
+            queue.put(item)
+            assert len(queue) <= 3
+        assert queue.drain() == [7, 8, 9]
+        assert shed == [0, 1, 2, 3, 4, 5, 6]
+        assert queue.shed_items == 7
+        assert queue.rejected_items == 0
+
+    def test_reject_refuses_newcomers(self, env):
+        rejected = []
+        queue = BoundedQueue(env, capacity=2, policy="reject",
+                             on_shed=rejected.append)
+        queue.put("a")
+        queue.put("b")
+        queue.put("c")
+        assert queue.drain() == ["a", "b"]
+        assert rejected == ["c"]
+        assert queue.rejected_items == 1
+        assert queue.shed_items == 0
+
+    def test_sheds_are_counted_in_tracer(self):
+        env, tracer = traced_env()
+        queue = BoundedQueue(env, capacity=1, name="adm")
+        queue.put(1)
+        queue.put(2)
+        assert tracer.counters["queue.adm.shed"] == 1
+
+    def test_sink_backlog_respects_capacity(self):
+        env, tracer = traced_env()
+        got = []
+        queue = BoundedQueue(env, capacity=2, name="adm",
+                             on_shed=lambda item: None)
+        queue.set_handler(got.append)
+        for item in range(6):
+            queue.put(item)
+            assert len(queue) <= 2
+        env.run()
+        # 0 pumped directly; 1-3 shed as 4 and 5 arrived; 4, 5 served.
+        assert got == [0, 4, 5]
+        assert queue.shed_items == 3
+
+    def test_invalid_arguments_rejected(self, env):
+        with pytest.raises(ValueError):
+            BoundedQueue(env, capacity=0)
+        with pytest.raises(ValueError):
+            BoundedQueue(env, capacity=4, policy="drop-newest")
+
+
 class TestQueueClose:
     def test_put_after_close_rejected(self, env):
         queue = Queue(env)
@@ -124,3 +270,51 @@ class TestQueueClose:
         queue.close()
         queue.close()
         assert queue.closed
+
+    def test_get_drains_backlog_then_fails(self, env):
+        """Drain-then-fail: close() never discards accepted items."""
+        queue = Queue(env)
+        queue.put(1)
+        queue.put(2)
+        queue.close()
+        got, caught = [], []
+
+        def consumer():
+            got.append((yield queue.get()))
+            got.append((yield queue.get()))
+            try:
+                yield queue.get()
+            except QueueClosed:
+                caught.append(True)
+
+        env.process(consumer())
+        env.run()
+        assert got == [1, 2]
+        assert caught == [True]
+
+    def test_set_handler_pumps_existing_backlog(self):
+        """A handler installed after items were enqueued must still see
+        them (pre-fix the backlog was stranded in sink mode)."""
+        env = Environment()
+        queue = Queue(env, name="late-sink")
+        queue.put(1)
+        queue.put(2)
+        got = []
+        queue.set_handler(got.append)
+        env.run()
+        assert got == [1, 2]
+
+    def test_close_does_not_strand_sink_backlog(self):
+        """Closing a sink-mode queue lets the in-flight pump finish the
+        backlog: every accepted item reaches the handler."""
+        env = Environment()
+        queue = Queue(env, name="sink")
+        got = []
+        queue.set_handler(got.append)
+        for item in range(3):
+            queue.put(item)
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put(99)
+        env.run()
+        assert got == [0, 1, 2]
